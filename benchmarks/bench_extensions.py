@@ -1,0 +1,68 @@
+"""Extension benches: the paper's future-work directions, implemented.
+
+* dual-port (multi-port) memories: weak-fault simulation and two-port
+  March generation;
+* word-oriented memories: background expansion and word-level fault
+  simulation.
+
+These have no paper-side numbers to match; the benches document the
+cost of each capability and assert its correctness properties.
+"""
+
+from repro.faults.instances import CouplingIdempotentInstance
+from repro.march.catalog import MARCH_C_MINUS
+from repro.multiport import (
+    MARCH_2PF,
+    covers_all_weak_faults,
+    weak_fault_cases,
+)
+from repro.multiport.generate import Search2PStats, generate_march_2p
+from repro.word import data_backgrounds, detects_case as word_detects
+
+
+def test_weak_fault_simulation(benchmark):
+    ok, missed = benchmark(covers_all_weak_faults, MARCH_2PF, 4)
+    assert ok, missed
+
+
+def test_two_port_generation_reduced(benchmark):
+    """Generation against the same-cell weak faults (fast subset)."""
+    targets = [
+        fc for fc in weak_fault_cases(3)
+        if fc.name.startswith(("wRR", "wWL"))
+    ]
+    stats = Search2PStats()
+    found = benchmark.pedantic(
+        generate_march_2p,
+        kwargs={
+            "size": 3, "max_complexity": 4, "budget": 50000,
+            "stats": stats, "cases": targets,
+        },
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert found is not None
+    assert found.complexity <= 4
+
+
+def test_two_port_generation_full(benchmark):
+    """Full weak-fault list: the generator reaches a 5n two-port test."""
+    stats = Search2PStats()
+    found = benchmark.pedantic(
+        generate_march_2p,
+        kwargs={"size": 3, "max_complexity": 5, "budget": 150000,
+                "stats": stats},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert found is not None
+    assert found.complexity == 5
+    ok, missed = covers_all_weak_faults(found, 4)
+    assert ok, missed
+
+
+def test_word_level_simulation(benchmark):
+    make = lambda: CouplingIdempotentInstance(1, 0, True, 1)
+    detected = benchmark(
+        word_detects, MARCH_C_MINUS, make, 3, 8
+    )
+    assert detected
+    assert len(data_backgrounds(8)) == 4

@@ -1,0 +1,45 @@
+"""Figure 4: the Test Pattern Graph for {<up,1>, <up,0>}.
+
+Rebuilds the 4-node weighted TPG, checks its structural facts (weights
+from f.4.1, the two 0-weight edges, V! = 24 possible GTSs from f.4.2)
+and times construction plus the ATSP solve over it.
+"""
+
+from repro.atsp.solver import solve_path
+from repro.faults import CouplingIdempotentFault
+from repro.patterns.test_pattern import patterns_for_bfe
+from repro.patterns.tpg import TestPatternGraph
+
+
+def build_figure4():
+    fault = CouplingIdempotentFault(primitives=("up",), values=(0, 1))
+    graph = TestPatternGraph()
+    for cls in fault.classes():
+        for member in cls.members:
+            for tp in patterns_for_bfe(member):
+                graph.add(tp, cls.name)
+    return graph
+
+
+def test_figure4_construction(benchmark):
+    graph = benchmark(build_figure4)
+    assert len(graph) == 4
+    assert graph.gts_count() == 24  # f.4.2
+
+    matrix = graph.weight_matrix()
+    zero_edges = sum(
+        1 for r in range(4) for c in range(4) if r != c and matrix[r][c] == 0
+    )
+    assert zero_edges == 2
+
+
+def test_figure4_optimal_tour(benchmark):
+    graph = build_figure4()
+    matrix = graph.weight_matrix()
+    starts = [graph.start_weight(k) for k in range(len(graph))]
+
+    order, cost = benchmark(solve_path, matrix, starts)
+    # Optimal GTS: 2 power-up writes + 2 bridging writes -> with the 8
+    # pattern operations this is the paper's 12-operation GTS.
+    assert cost == 4
+    assert sorted(order) == [0, 1, 2, 3]

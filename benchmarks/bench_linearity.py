@@ -1,0 +1,40 @@
+"""March linearity: run time scales linearly with memory size.
+
+The paper's opening claim: "March Tests have proven to be faster,
+simpler, regularly structured and linear in complexity."  This bench
+executes March C- on growing memories (fault-free and with one injected
+fault) and checks the operation count is exactly ``complexity * n``.
+"""
+
+import pytest
+
+from repro.export import trace_length
+from repro.faults.instances import StuckAtInstance
+from repro.march.catalog import MARCH_C_MINUS
+from repro.memory.array import MemoryArray
+from repro.simulator.engine import run_march
+
+
+@pytest.mark.parametrize("size", [64, 256, 1024, 4096])
+def test_march_execution_scales_linearly(benchmark, size):
+    def execute():
+        memory = MemoryArray(size)
+        return run_march(MARCH_C_MINUS.concrete_order_variants()[0], memory)
+
+    run = benchmark(execute)
+    assert not run.detected
+    reads_per_cell = 5  # March C- has five verifying reads per cell
+    assert len(run.reads) == reads_per_cell * size
+    assert trace_length(MARCH_C_MINUS, size) == 10 * size
+
+
+def test_faulty_run_large_memory(benchmark):
+    size = 2048
+
+    def execute():
+        memory = MemoryArray(size, fault=StuckAtInstance(size // 2, 0))
+        return run_march(MARCH_C_MINUS.concrete_order_variants()[0], memory)
+
+    run = benchmark(execute)
+    assert run.detected
+    assert run.first_detection.address == size // 2

@@ -1,0 +1,47 @@
+"""Figures 1-3: memory model construction and fault injection.
+
+* Figure 1 -- the fault-free two-cell Mealy machine M0;
+* Figure 2 -- the faulty machine M1 for the <up,0> coupling fault;
+* Figure 3 -- the BFE decomposition of <up,0>.
+
+These benches regenerate the structures and assert the figures' facts
+(state counts, single-edge deviation, two BFEs).
+"""
+
+from repro.faults import CouplingIdempotentFault
+from repro.faults.bfe import delta_bfe
+from repro.memory.mealy import good_machine
+from repro.memory.operations import write
+from repro.memory.state import MemoryState
+from repro.patterns.test_pattern import patterns_for_bfe
+
+
+def test_figure1_m0_construction(benchmark):
+    machine = benchmark(good_machine, ("i", "j"))
+    concrete = [s for s in machine.states if s.is_concrete]
+    assert len(concrete) == 4
+    # 7 inputs per state (r_i, r_j, w0/w1 each cell, T).
+    assert len(machine.inputs) == 7
+
+
+def test_figure2_m1_single_deviation(benchmark):
+    m0 = good_machine(("i", "j"))
+    bfe = delta_bfe(
+        MemoryState.parse("01"), write("i", 1), MemoryState.parse("-0"),
+        "CFid<up,0> i->j",
+    )
+    m1 = benchmark(bfe.apply_to, m0, "M1")
+    assert len(m1.deviations_from(m0)) == 1
+
+
+def test_figure3_bfe_decomposition(benchmark):
+    fault = CouplingIdempotentFault(primitives=("up",), values=(0,))
+
+    def decompose():
+        classes = fault.classes()
+        return [tp for cls in classes for m in cls for tp in patterns_for_bfe(m)]
+
+    patterns = benchmark(decompose)
+    # Two BFEs (i aggressor / j aggressor), one TP each -- Figure 3 and
+    # the TP1/TP2 of Section 3.
+    assert {str(p) for p in patterns} == {"(01, w1i, r1j)", "(10, w1j, r1i)"}

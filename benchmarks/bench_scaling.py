@@ -1,0 +1,76 @@
+"""Generation-time scaling with fault-list size.
+
+The paper's Table 3 suggests generation time grows mildly with the
+fault list (0.49 s -> 0.85 s).  This bench sweeps synthetic fault lists
+of increasing class count (random user-defined pair faults through
+:class:`GenericPairFault`) and records generation time; the library
+must stay in the seconds regime across the sweep.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GeneratorConfig, MarchTestGenerator
+from repro.faults.bfe import delta_bfe
+from repro.faults.faultlist import BFEClass, FaultList
+from repro.faults.generic import GenericPairFault
+from repro.memory.operations import write
+from repro.memory.state import MemoryState
+
+
+def random_delta_bfe(rng: random.Random):
+    state = MemoryState.parse(
+        f"{rng.randint(0, 1)}{rng.randint(0, 1)}"
+    )
+    cell = rng.choice(("i", "j"))
+    value = rng.randint(0, 1)
+    op = write(cell, value)
+    good = state.apply(op)
+    faulty = good
+    choices = [(True, False), (False, True), (True, True)]
+    flip_i, flip_j = rng.choice(choices)
+    if flip_i:
+        faulty = faulty.set("i", 1 - int(good["i"]))
+    if flip_j:
+        faulty = faulty.set("j", 1 - int(good["j"]))
+    return delta_bfe(state, op, faulty, label="synthetic")
+
+
+def synthetic_fault_list(classes: int, seed: int = 0) -> FaultList:
+    rng = random.Random(seed)
+    seen = set()
+    bfe_classes = []
+    while len(bfe_classes) < classes:
+        bfe = random_delta_bfe(rng)
+        key = str(bfe)
+        if key in seen:
+            continue
+        seen.add(key)
+        bfe_classes.append(BFEClass(f"syn{len(bfe_classes)}", (bfe,)))
+    return FaultList([GenericPairFault("SYN", bfe_classes)])
+
+
+CONFIG = GeneratorConfig(selection_limit=16, polish=False,
+                         check_redundancy=False)
+
+
+@pytest.mark.parametrize("classes", [1, 2, 4, 8])
+def test_generation_scaling(benchmark, classes):
+    faults = synthetic_fault_list(classes, seed=classes)
+    report = benchmark.pedantic(
+        MarchTestGenerator(CONFIG).generate, args=(faults,),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert report.verified
+    assert report.complexity >= 2
+
+
+def test_tpg_growth_stays_small():
+    """Even a 12-class synthetic list yields a compact TPG -- the node
+    de-duplication the paper's Section 5 machinery relies on."""
+    from repro.core.selection import enumerate_selections
+
+    faults = synthetic_fault_list(12, seed=12)
+    selection = next(enumerate_selections(faults.classes(), 1))
+    assert len(selection.patterns) <= 12

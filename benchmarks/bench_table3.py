@@ -1,0 +1,69 @@
+"""Table 3 reproduction: generated March tests, their complexity and
+generation time for the paper's six fault lists.
+
+Paper (PIII 650 MHz, C + Fortran):
+
+    SAF                       -> 4n   (MATS,    0.49 s)
+    SAF+TF                    -> 5n   (MATS+,   0.53 s)
+    SAF+TF+ADF                -> 6n   (MATS++,  0.61 s)
+    SAF+TF+ADF+CFin           -> 6n   (March X, 0.69 s)
+    SAF+TF+ADF+CFin+CFid      -> 10n  (March C-, 0.85 s)
+    CFin                      -> 5n   (not found in literature, 0.57 s)
+
+Each benchmark asserts the reproduced complexity and records our
+generation time.  ``python benchmarks/bench_table3.py`` prints the
+whole table without the benchmark machinery.
+"""
+
+import pytest
+
+from repro.core import MarchTestGenerator
+from repro.faults import FaultList
+
+ROWS = [
+    (("SAF",), 4, "MATS (4n)"),
+    (("SAF", "TF"), 5, "MATS+ (5n)"),
+    (("SAF", "TF", "ADF"), 6, "MATS++ (6n)"),
+    (("SAF", "TF", "ADF", "CFIN"), 6, "MarchX (6n)"),
+    (("SAF", "TF", "ADF", "CFIN", "CFID"), 10, "MarchC- (10n)"),
+    (("CFIN",), 5, "Not Found"),
+]
+
+
+def _generate(names):
+    return MarchTestGenerator().generate(FaultList.from_names(*names))
+
+
+@pytest.mark.parametrize(
+    "names, expected, known",
+    ROWS,
+    ids=["+".join(r[0]) for r in ROWS],
+)
+def test_table3_row(benchmark, names, expected, known):
+    report = benchmark.pedantic(
+        _generate, args=(names,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert report.complexity == expected, (
+        f"{'+'.join(names)}: got {report.complexity_label},"
+        f" paper reports {expected}n"
+    )
+    assert report.verified
+    assert report.non_redundant
+
+
+def main():
+    print(f"{'Fault list':30s} {'ours':>5s} {'paper':>6s}"
+          f" {'time':>8s}  known equivalent")
+    for names, expected, known in ROWS:
+        report = _generate(names)
+        flag = "ok" if report.complexity == expected else "DIFF"
+        print(
+            f"{'+'.join(names):30s} {report.complexity_label:>5s}"
+            f" {str(expected) + 'n':>6s} {report.elapsed_seconds:7.2f}s"
+            f"  {report.equivalent_known or known} [{flag}]"
+        )
+        print(f"{'':30s} {report.test}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Section 4's worked example, end to end.
+
+Fault list {<up,1>, <up,0>}: the paper walks it from TPs through the
+12-operation GTS and the rewrite phases to a non-redundant 8n March
+test.  This bench regenerates the pipeline and asserts the 8n outcome.
+"""
+
+from repro.core import MarchTestGenerator
+from repro.faults import CouplingIdempotentFault, FaultList
+
+
+def test_worked_example_8n(benchmark):
+    faults = FaultList(
+        [CouplingIdempotentFault(primitives=("up",), values=(0, 1))]
+    )
+
+    report = benchmark.pedantic(
+        MarchTestGenerator().generate, args=(faults,),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert report.complexity == 8  # the paper's 8n March test
+    assert report.verified
+    assert report.non_redundant
+    assert report.gts.length == 12  # the paper's 12-operation GTS

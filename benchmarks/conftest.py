@@ -1,0 +1,28 @@
+"""Shared benchmark helpers."""
+
+import pytest
+
+from repro.core import GeneratorConfig, MarchTestGenerator
+from repro.faults import FaultList
+
+
+def generate_once(*names, **config_kwargs):
+    """Run the generator once for a named fault list."""
+    config = GeneratorConfig(**config_kwargs)
+    return MarchTestGenerator(config).generate(FaultList.from_names(*names))
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Benchmark a callable with a single measured round.
+
+    Generation is seconds-scale; one round keeps the harness fast while
+    still recording wall-clock, matching the paper's single CPU-time
+    column.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,80 @@
+"""Define a user fault model and generate a March test for it.
+
+The paper stresses that the memory model can "possibly add new
+user-defined faults".  Here we invent a *sticky-write* fault: once the
+cell has held 1, writing 0 only succeeds every other time -- modelled
+(pessimistically) as the down-transition failing while the *other* cell
+holds 1, i.e. a state-dependent transition fault.
+
+We express the fault both as BFE classes (for the generator) and as a
+behavioural instance (for the validating simulator).
+
+Run:  python examples/custom_fault_model.py
+"""
+
+from repro.core import MarchTestGenerator
+from repro.faults import BFEClass, FaultList, UserDefinedFault, delta_bfe
+from repro.faults.instances import case
+from repro.memory.array import MemoryArray, NullFaultInstance
+from repro.memory.operations import write
+from repro.memory.state import MemoryState
+
+
+class StickyDownInstance(NullFaultInstance):
+    """w0 to the victim fails while the neighbour cell holds 1."""
+
+    def __init__(self, victim: int, neighbour: int) -> None:
+        self.victim = victim
+        self.neighbour = neighbour
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        if (
+            address == self.victim
+            and value == 0
+            and memory.raw[self.victim] == 1
+            and memory.raw[self.neighbour] == 1
+        ):
+            return  # the down transition sticks
+        memory.raw[address] = value
+
+
+def sticky_down_model() -> UserDefinedFault:
+    classes = []
+    for victim, neighbour in (("i", "j"), ("j", "i")):
+        state = MemoryState.of(**{victim: 1, neighbour: 1})
+        faulty = MemoryState.of(**{victim: 1, neighbour: "-"})
+        bfe = delta_bfe(
+            state, write(victim, 0), faulty,
+            label=f"sticky-down {victim} (neighbour {neighbour})",
+        )
+        classes.append(BFEClass(f"STICKY {victim}", (bfe,)))
+
+    def instances(size):
+        return tuple(
+            case(
+                f"STICKY {victim} (n={neighbour})",
+                lambda victim=victim, neighbour=neighbour:
+                StickyDownInstance(victim, neighbour),
+            )
+            for victim in range(size)
+            for neighbour in range(size)
+            if victim != neighbour
+        )
+
+    return UserDefinedFault("STICKY", classes, instances)
+
+
+def main():
+    faults = FaultList([sticky_down_model()])
+    report = MarchTestGenerator().generate(faults)
+    print("User-defined sticky-write fault")
+    print("===============================")
+    print(report.summary())
+    print()
+    print("The generated test drives both cells to 1, writes the down")
+    print("transition and reads it back before the neighbour changes:")
+    print(f"  {report.test}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Fault diagnosis with syndrome dictionaries.
+
+Beyond pass/fail, a March run's failing reads form a *syndrome* that
+narrows down which fault is present (the output-tracing idea of the
+paper's reference [6]).  This example builds a dictionary for March C-
+over the Table 3 row-5 fault list, injects a fault into a simulated
+memory, and diagnoses it from the observed syndrome alone.
+
+Run:  python examples/fault_diagnosis.py
+"""
+
+from repro.diagnosis import build_dictionary_for, diagnose_memory
+from repro.faults import FaultList
+from repro.faults.instances import (
+    CouplingIdempotentInstance,
+    StuckAtInstance,
+    TransitionFaultInstance,
+)
+from repro.march.catalog import MARCH_C_MINUS
+from repro.memory.array import MemoryArray
+
+
+def main():
+    faults = FaultList.from_names("SAF", "TF", "CFIN", "CFID")
+    size = 3
+    dictionary = build_dictionary_for(MARCH_C_MINUS, faults, size)
+
+    print(f"dictionary for {MARCH_C_MINUS.name} over"
+          f" {'+'.join(faults.names)} ({size} cells)")
+    print(f"  fault cases     : {dictionary.case_count}")
+    print(f"  distinct syndromes: {dictionary.syndromes}")
+    print(f"  unique-resolution : {dictionary.resolution() * 100:.0f}%"
+          f" of detected cases")
+    print()
+
+    trials = [
+        ("SA0 at cell 1", StuckAtInstance(1, 0)),
+        ("TF-down at cell 2", TransitionFaultInstance(2, rising=False)),
+        ("CFid<up,0> 0->2", CouplingIdempotentInstance(0, 2, True, 0)),
+        ("fault-free", None),
+    ]
+    for label, instance in trials:
+        memory = (
+            MemoryArray(size) if instance is None
+            else MemoryArray(size, fault=instance)
+        )
+        candidates = diagnose_memory(MARCH_C_MINUS, memory, dictionary)
+        rendered = ", ".join(candidates) if candidates else "(no fault)"
+        print(f"injected {label:22s} -> diagnosed: {rendered}")
+
+
+if __name__ == "__main__":
+    main()

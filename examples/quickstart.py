@@ -1,0 +1,19 @@
+"""Quickstart: generate a March test for a fault list in three lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import generate_march_test
+
+# Target stuck-at and transition faults (Table 3, row 2 of the paper).
+report = generate_march_test("SAF", "TF")
+
+print("Generated March test")
+print("====================")
+print(report.summary())
+print()
+print(f"The {report.complexity_label} test in March notation: {report.test}")
+print()
+print("Element by element:")
+for index, element in enumerate(report.test.elements, 1):
+    print(f"  {index}. {element}")

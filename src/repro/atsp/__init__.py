@@ -1,0 +1,28 @@
+"""Asymmetric TSP substrate (exact and heuristic solvers)."""
+
+from .branch_bound import branch_and_bound_cycle
+from .held_karp import held_karp_cycle, held_karp_path
+from .heuristics import (
+    nearest_neighbor_cycle,
+    nearest_neighbor_with_or_opt,
+    or_opt_improve,
+    tour_cost,
+)
+from .hungarian import FORBIDDEN, assignment_cycles, solve_assignment
+from .solver import brute_force_cycle, solve_cycle, solve_path
+
+__all__ = [
+    "branch_and_bound_cycle",
+    "held_karp_cycle",
+    "held_karp_path",
+    "nearest_neighbor_cycle",
+    "nearest_neighbor_with_or_opt",
+    "or_opt_improve",
+    "tour_cost",
+    "FORBIDDEN",
+    "assignment_cycles",
+    "solve_assignment",
+    "brute_force_cycle",
+    "solve_cycle",
+    "solve_path",
+]

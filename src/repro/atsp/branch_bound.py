@@ -1,0 +1,128 @@
+"""Exact ATSP by assignment-relaxation branch and bound.
+
+This reimplements, in spirit, the Carpaneto--Dell'Amico--Toth exact
+solver (ACM TOMS algorithm 750) that the paper calls from Fortran [12]:
+
+* lower bound: the assignment problem (AP) over the current arc set --
+  an AP solution is a family of vertex-disjoint cycles; when it is a
+  single Hamiltonian cycle, it is optimal for the subproblem;
+* branching (Bellmore--Malone subtour elimination): pick the shortest
+  subtour of the AP solution and create one child per arc of that
+  subtour with the arc *excluded*; to keep the children disjoint, child
+  ``k`` additionally *includes* the first ``k-1`` arcs of the subtour;
+* search order: best-first on the AP bound.
+
+Instances stay exact and fast well past the 50-node regime the paper
+reports (its TPGs are far smaller).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .hungarian import FORBIDDEN, assignment_cycles, solve_assignment
+
+Arc = Tuple[int, int]
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    tie_break: int
+    excluded: FrozenSet[Arc] = field(compare=False)
+    included: FrozenSet[Arc] = field(compare=False)
+    assignment: List[int] = field(compare=False)
+
+
+def branch_and_bound_cycle(
+    cost: Sequence[Sequence[float]],
+) -> Tuple[List[int], float]:
+    """Minimum-cost Hamiltonian cycle (exact).
+
+    Returns ``(tour, total)``; the tour starts at node 0.
+    """
+    n = len(cost)
+    if n == 0:
+        return [], 0.0
+    if n == 1:
+        return [0], float(cost[0][0]) * 0.0
+    if n == 2:
+        return [0, 1], float(cost[0][1]) + float(cost[1][0])
+
+    counter = itertools.count()
+
+    def relax(
+        excluded: FrozenSet[Arc], included: FrozenSet[Arc]
+    ) -> Tuple[List[int], float]:
+        matrix = [[float(cost[r][c]) for c in range(n)] for r in range(n)]
+        for r in range(n):
+            matrix[r][r] = FORBIDDEN  # no self-loops in a tour
+        for (r, c) in excluded:
+            matrix[r][c] = FORBIDDEN
+        for (r, c) in included:
+            for other in range(n):
+                if other != c:
+                    matrix[r][other] = FORBIDDEN
+                if other != r:
+                    matrix[other][c] = FORBIDDEN
+        return solve_assignment(matrix)
+
+    root_assignment, root_bound = relax(frozenset(), frozenset())
+    heap: List[_Node] = [
+        _Node(root_bound, next(counter), frozenset(), frozenset(), root_assignment)
+    ]
+    best_cost = float("inf")
+    best_tour: List[int] = []
+
+    while heap:
+        node = heapq.heappop(heap)
+        if node.bound >= best_cost:
+            break  # best-first: nothing better remains
+        cycles = assignment_cycles(node.assignment)
+        if len(cycles) == 1:
+            # Feasible tour; because of best-first order it is optimal.
+            best_cost = node.bound
+            best_tour = _rotate_to_zero(cycles[0])
+            break
+        subtour = min(cycles, key=len)
+        arcs = [
+            (subtour[k], subtour[(k + 1) % len(subtour)])
+            for k in range(len(subtour))
+        ]
+        for k, arc in enumerate(arcs):
+            excluded = node.excluded | {arc}
+            included = node.included | set(arcs[:k])
+            if _conflicts(included, excluded):
+                continue
+            assignment, bound = relax(excluded, included)
+            if bound >= best_cost or bound >= FORBIDDEN:
+                continue
+            heapq.heappush(
+                heap,
+                _Node(bound, next(counter), excluded, included, assignment),
+            )
+
+    if not best_tour:
+        raise RuntimeError("ATSP instance is infeasible")
+    return best_tour, best_cost
+
+
+def _conflicts(included: FrozenSet[Arc], excluded: FrozenSet[Arc]) -> bool:
+    if included & excluded:
+        return True
+    by_row: Dict[int, int] = {}
+    by_col: Dict[int, int] = {}
+    for (r, c) in included:
+        if by_row.setdefault(r, c) != c or by_col.setdefault(c, r) != r:
+            return True
+    return False
+
+
+def _rotate_to_zero(cycle: List[int]) -> List[int]:
+    if 0 not in cycle:
+        return list(cycle)
+    at = cycle.index(0)
+    return cycle[at:] + cycle[:at]

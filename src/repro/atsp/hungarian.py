@@ -1,0 +1,118 @@
+"""Linear assignment problem solver (Hungarian algorithm).
+
+The branch-and-bound ATSP solver (after Carpaneto--Dell'Amico--Toth
+[12], whose Fortran code the paper links against) uses the assignment
+problem as its relaxation: an AP solution is a set of vertex-disjoint
+cycles covering all nodes; its cost lower-bounds the optimal tour.
+
+This is the classic O(n^3) potentials + shortest-augmenting-path
+formulation.  ``INFEASIBLE`` entries (forbidden arcs) are encoded with
+a large finite penalty so the algorithm remains numeric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Penalty standing in for a forbidden arc.  Chosen large enough that a
+#: single forbidden arc dominates any realistic tour, small enough that
+#: sums of a few of them do not overflow float precision.
+FORBIDDEN = 10 ** 9
+
+
+def solve_assignment(cost: Sequence[Sequence[float]]) -> Tuple[List[int], float]:
+    """Solve the square assignment problem.
+
+    Parameters
+    ----------
+    cost:
+        Square matrix; ``cost[r][c]`` is the cost of assigning row ``r``
+        to column ``c``.
+
+    Returns
+    -------
+    (assignment, total):
+        ``assignment[r]`` is the column assigned to row ``r``; ``total``
+        is the summed cost.
+
+    >>> solve_assignment([[4, 1], [2, 3]])
+    ([1, 0], 3.0)
+    """
+    n = len(cost)
+    if n == 0:
+        return [], 0.0
+    for row in cost:
+        if len(row) != n:
+            raise ValueError("assignment matrix must be square")
+
+    inf = float("inf")
+    # 1-based arrays per the classic formulation.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (n + 1)
+    p = [0] * (n + 1)      # p[col] = row assigned to col (0 = none)
+    way = [0] * (n + 1)
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [inf] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = inf
+            j1 = 0
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [0] * n
+    total = 0.0
+    for j in range(1, n + 1):
+        if p[j] == 0:
+            raise RuntimeError("assignment failed to cover all rows")
+        assignment[p[j] - 1] = j - 1
+        total += float(cost[p[j] - 1][j - 1])
+    return assignment, total
+
+
+def assignment_cycles(assignment: Sequence[int]) -> List[List[int]]:
+    """Decompose an assignment (successor function) into its cycles.
+
+    >>> assignment_cycles([1, 0, 2])
+    [[0, 1], [2]]
+    """
+    n = len(assignment)
+    seen = [False] * n
+    cycles: List[List[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        cycle = []
+        node = start
+        while not seen[node]:
+            seen[node] = True
+            cycle.append(node)
+            node = assignment[node]
+        cycles.append(cycle)
+    return cycles

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro generate SAF TF
+    python -m repro simulate "MarchC-" SAF TF ADF CFIN CFID
+    python -m repro simulate "{any(w0); up(r0,w1); down(r1)}" SAF
+    python -m repro catalog
+    python -m repro models
+    python -m repro table3
+    python -m repro dot tpg CFID
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import coverage_report
+from .core.config import GeneratorConfig
+from .core.generator import MarchTestGenerator
+from .faults.faultlist import FaultList
+from .faults.library import MODEL_REGISTRY
+from .march.catalog import CATALOG, by_name
+from .march.test import MarchTest, parse_march
+
+
+def _resolve_test(text: str) -> MarchTest:
+    """A catalog name or literal March notation."""
+    try:
+        return by_name(text)
+    except KeyError:
+        return parse_march(text, name="cli")
+
+
+def _fault_list(names: List[str]) -> FaultList:
+    return FaultList.from_names(*names)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    config = GeneratorConfig(
+        equivalence_enumeration=not args.no_equivalence,
+        prefer_uniform_start=not args.no_start_constraint,
+        tighten=not args.no_tighten,
+        polish=not args.no_polish,
+        selection_limit=args.selection_limit,
+    )
+    report = MarchTestGenerator(config).generate(_fault_list(args.faults))
+    print(report.summary())
+    return 0 if report.verified else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    test = _resolve_test(args.test)
+    faults = _fault_list(args.faults)
+    report = coverage_report(test, faults, size=args.size)
+    print(report)
+    return 0 if all(m.complete for m in report.models) else 1
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    for name in sorted(CATALOG, key=lambda n: CATALOG[n].complexity):
+        test = CATALOG[name]
+        print(f"{name:10s} {test.complexity_label:>4s}  {test}")
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    for name in sorted(MODEL_REGISTRY):
+        model = MODEL_REGISTRY[name]()
+        classes = model.classes()
+        print(
+            f"{name:6s} {type(model).__name__:28s}"
+            f" {len(classes):2d} BFE classes"
+        )
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    rows = [
+        ("SAF",),
+        ("SAF", "TF"),
+        ("SAF", "TF", "ADF"),
+        ("SAF", "TF", "ADF", "CFIN"),
+        ("SAF", "TF", "ADF", "CFIN", "CFID"),
+        ("CFIN",),
+    ]
+    paper = [4, 5, 6, 6, 10, 5]
+    generator = MarchTestGenerator()
+    failures = 0
+    for names, expected in zip(rows, paper):
+        report = generator.generate(_fault_list(list(names)))
+        ok = report.complexity == expected
+        failures += not ok
+        print(
+            f"{'+'.join(names):28s} {report.complexity_label:>4s}"
+            f" (paper {expected}n) {report.elapsed_seconds:6.2f}s"
+            f" {'ok' if ok else 'DIFFERS'}  {report.test}"
+        )
+    return 1 if failures else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .simulator.coverage import coverage_matrix
+
+    test = _resolve_test(args.test)
+    faults = _fault_list(args.faults)
+    report = coverage_report(test, faults, size=args.size)
+    print(report)
+    cases = faults.instances(args.size)
+    cm = coverage_matrix(test, cases, args.size)
+    verdict = "non-redundant" if cm.is_non_redundant() else "redundant"
+    print(f"covers all cases : {cm.covers_all}")
+    print(f"block analysis   : {verdict}"
+          f" ({len(cm.blocks)} elementary blocks)")
+    redundant = cm.redundant_blocks()
+    if redundant:
+        blocks = ", ".join(
+            cm.blocks[k].describe(cm.test) for k in redundant
+        )
+        print(f"redundant blocks : {blocks}")
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    from .diagnosis import build_dictionary_for
+
+    test = _resolve_test(args.test)
+    faults = _fault_list(args.faults)
+    dictionary = build_dictionary_for(test, faults, args.size)
+    print(f"fault cases        : {dictionary.case_count}")
+    print(f"distinct syndromes : {dictionary.syndromes}")
+    print(f"unique resolution  : {dictionary.resolution() * 100:.0f}%")
+    undetected = dictionary.undetected_cases()
+    if undetected:
+        print(f"undetected         : {', '.join(undetected)}")
+    return 0 if not undetected else 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .export import to_assembly, to_csv
+
+    test = _resolve_test(args.test)
+    if args.format == "csv":
+        print(to_csv(test, args.size))
+    elif args.format == "asm":
+        print(to_assembly(test))
+    else:
+        from .render import march_to_latex
+
+        print(march_to_latex(test))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from . import viz
+    from .memory.mealy import good_machine
+
+    if args.what == "m0":
+        print(viz.mealy_dot(good_machine(), "M0"))
+        return 0
+    if args.what == "tpg":
+        from .core.selection import enumerate_selections
+        from .patterns.tpg import TestPatternGraph
+
+        faults = _fault_list(args.faults)
+        selection = next(enumerate_selections(faults.classes(), 1))
+        tpg = TestPatternGraph()
+        for cls_name, pattern in selection.choices:
+            tpg.add(pattern, cls_name)
+        print(viz.tpg_dot(tpg))
+        return 0
+    raise AssertionError(args.what)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic March test generation (Benso et al., DATE 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a March test")
+    gen.add_argument("faults", nargs="+", help="fault model names (e.g. SAF TF)")
+    gen.add_argument("--no-equivalence", action="store_true",
+                     help="disable Section 5 class enumeration")
+    gen.add_argument("--no-start-constraint", action="store_true",
+                     help="disable the f.4.4 start-state preference")
+    gen.add_argument("--no-tighten", action="store_true")
+    gen.add_argument("--no-polish", action="store_true")
+    gen.add_argument("--selection-limit", type=int, default=128)
+    gen.set_defaults(fn=cmd_generate)
+
+    sim = sub.add_parser("simulate", help="fault-simulate a March test")
+    sim.add_argument("test", help="catalog name or March notation")
+    sim.add_argument("faults", nargs="+")
+    sim.add_argument("--size", type=int, default=3)
+    sim.set_defaults(fn=cmd_simulate)
+
+    cat = sub.add_parser("catalog", help="list known March tests")
+    cat.set_defaults(fn=cmd_catalog)
+
+    models = sub.add_parser("models", help="list fault models")
+    models.set_defaults(fn=cmd_models)
+
+    table = sub.add_parser("table3", help="reproduce the paper's Table 3")
+    table.set_defaults(fn=cmd_table3)
+
+    analyze = sub.add_parser(
+        "analyze", help="coverage + non-redundancy analysis of a test"
+    )
+    analyze.add_argument("test")
+    analyze.add_argument("faults", nargs="+")
+    analyze.add_argument("--size", type=int, default=3)
+    analyze.set_defaults(fn=cmd_analyze)
+
+    diag = sub.add_parser(
+        "diagnose", help="build a syndrome dictionary for a test"
+    )
+    diag.add_argument("test")
+    diag.add_argument("faults", nargs="+")
+    diag.add_argument("--size", type=int, default=3)
+    diag.set_defaults(fn=cmd_diagnose)
+
+    export = sub.add_parser("export", help="compile a test to a program")
+    export.add_argument("test")
+    export.add_argument("--format", choices=["csv", "asm", "latex"],
+                        default="asm")
+    export.add_argument("--size", type=int, default=8)
+    export.set_defaults(fn=cmd_export)
+
+    dot = sub.add_parser("dot", help="emit Graphviz for the paper's figures")
+    dot.add_argument("what", choices=["m0", "tpg"])
+    dot.add_argument("faults", nargs="*", default=["CFID"])
+    dot.set_defaults(fn=cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

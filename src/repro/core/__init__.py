@@ -1,0 +1,31 @@
+"""Core: the automatic March test generation pipeline."""
+
+from .config import GeneratorConfig
+from .exhaustive import SearchStats, exhaustive_search
+from .generator import GenerationError, MarchTestGenerator, generate_march_test
+from .optimize import canonicalize_orders, make_verifier, optimize, tighten
+from .report import GenerationReport
+from .selection import (
+    Selection,
+    class_candidates,
+    enumerate_selections,
+    selection_space_size,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SearchStats",
+    "exhaustive_search",
+    "GenerationError",
+    "MarchTestGenerator",
+    "generate_march_test",
+    "canonicalize_orders",
+    "make_verifier",
+    "optimize",
+    "tighten",
+    "GenerationReport",
+    "Selection",
+    "class_candidates",
+    "enumerate_selections",
+    "selection_space_size",
+]

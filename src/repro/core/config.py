@@ -1,0 +1,72 @@
+"""Generator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass
+class GeneratorConfig:
+    """Tunable knobs of the March test generator.
+
+    Attributes
+    ----------
+    cells:
+        Symbolic cells of the fault machine (the paper's two-cell model).
+    verify_size:
+        Memory size used for candidate verification inside the search
+        loop (2 cells exercise both aggressor/victim orders).
+    confirm_size:
+        Memory size of the final confirmation run (3 adds a bystander
+        cell in every position).
+    prefer_uniform_start:
+        Apply the f.4.4 optimization: restrict tours to start at test
+        patterns whose initialization is compatible with the all-0 /
+        all-1 state.  Falls back to unrestricted when infeasible.
+    equivalence_enumeration:
+        Enumerate the Section 5 equivalence-class selections (up to
+        ``selection_limit`` combinations); when off, a single greedy
+        selection is used.
+    selection_limit:
+        Maximum number of class-member selections explored.
+    atsp_method:
+        Method forwarded to :func:`repro.atsp.solve_path`.
+    tighten:
+        Run the simulation-checked local optimizer on the built test.
+    repair:
+        On pipeline verification failure, fall back to the direct
+        per-pattern realization and re-optimize.
+    canonicalize_orders:
+        Replace element orders by ``ANY`` when both realizations verify
+        (stronger, more conventional notation).
+    check_redundancy:
+        Build the Section 6 Coverage Matrix and report non-redundancy.
+    polish:
+        After local optimization, run a budgeted iterative-deepening
+        search strictly below the incumbent complexity, starting at the
+        GTS-derived lower bound; finds the global optimum whenever the
+        budget allows.
+    polish_budget:
+        Maximum candidates the polish phase may simulate.
+    polish_max_elements:
+        Element-count cap of the polish search grammar.
+    weight_mode:
+        TPG edge cost: ``"hamming"`` (f.4.1) or ``"uniform"`` (ablation).
+    """
+
+    cells: Tuple[str, ...] = ("i", "j")
+    verify_size: int = 2
+    confirm_size: int = 3
+    prefer_uniform_start: bool = True
+    equivalence_enumeration: bool = True
+    selection_limit: int = 128
+    atsp_method: str = "auto"
+    tighten: bool = True
+    repair: bool = True
+    canonicalize_orders: bool = True
+    check_redundancy: bool = True
+    polish: bool = True
+    polish_budget: int = 30000
+    polish_max_elements: int = 7
+    weight_mode: str = "hamming"

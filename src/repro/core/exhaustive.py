@@ -1,0 +1,152 @@
+"""Bounded exhaustive March test search (the Section 2 baseline).
+
+Earlier generators ([2][3][4] van de Goor & Smit) search a *transition
+tree* whose paths enumerate candidate March tests, bounded in depth and
+checked one by one -- exhaustive and increasingly slow.  This module
+reimplements that strategy as an iterative-deepening enumeration over
+well-formed March structures, used:
+
+* as the paper's point of comparison in the benchmarks (pipeline vs
+  exhaustive runtime);
+* as a last-resort fallback guaranteeing a minimal test exists below a
+  bound.
+
+The enumeration is restricted to the classic March grammar: an optional
+initializing write element, then elements made of a read of the current
+background followed by alternating writes (each possibly re-read), each
+element marching up or down.  This matches the structure of every test
+in the literature catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..march.element import AddressOrder, MarchElement, MarchOp
+from ..march.test import MarchTest
+from .optimize import Verifier
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of the exhaustive search."""
+
+    candidates_tested: int = 0
+    nodes_expanded: int = 0
+    complexity_reached: int = 0
+
+
+def _element_bodies(
+    background: int, max_ops: int
+) -> Iterator[Tuple[Tuple[MarchOp, ...], int]]:
+    """Yield canonical element bodies valid on a ``background`` value.
+
+    Bodies start with a read of the background (the transition-tree
+    branching of [2]); writes then evolve the tracked value, each
+    optionally re-read; a repeated read probes destructive-read faults.
+    Yields ``(ops, new_background)``.
+    """
+
+    def extend(
+        ops: Tuple[MarchOp, ...], value: int, budget: int
+    ) -> Iterator[Tuple[Tuple[MarchOp, ...], int]]:
+        yield ops, value
+        if budget == 0:
+            return
+        last = ops[-1]
+        # Writes: flip the value, or repeat it (write-disturb probing),
+        # but never two identical consecutive writes.
+        for new_value in (1 - value, value):
+            if last.is_write and last.value == new_value:
+                continue
+            for tail in extend(
+                ops + (MarchOp("w", new_value),), new_value, budget - 1
+            ):
+                yield tail
+        # A verifying read after a write, or one repeated read.
+        if last.is_write or (len(ops) < 2 or not ops[-2].is_read):
+            for tail in extend(
+                ops + (MarchOp("r", value),), value, budget - 1
+            ):
+                yield tail
+
+    first = (MarchOp("r", background),)
+    yield from extend(first, background, max_ops - 1)
+
+
+def _marches(
+    max_complexity: int,
+    max_elements: int,
+    stats: SearchStats,
+) -> Iterator[MarchTest]:
+    """Enumerate canonical candidate tests up to the complexity bound.
+
+    Canonical form: an initial write-only element (one or two writes,
+    order fixed UP -- the mirror test is equivalent up to cell
+    relabelling for direction-symmetric fault lists), followed by
+    read-first elements marching either way.
+    """
+
+    def grow(
+        elements: Tuple[MarchElement, ...],
+        background: int,
+        budget: int,
+    ) -> Iterator[MarchTest]:
+        if elements:
+            yield MarchTest(elements)
+        if budget == 0 or len(elements) >= max_elements:
+            return
+        for body, new_background in _element_bodies(background, budget):
+            stats.nodes_expanded += 1
+            for order in (AddressOrder.UP, AddressOrder.DOWN):
+                element = MarchElement(order, body)
+                yield from grow(
+                    elements + (element,), new_background, budget - len(body)
+                )
+
+    for initial_value in (0, 1):
+        single = MarchElement(
+            AddressOrder.UP, (MarchOp("w", initial_value),)
+        )
+        yield from grow((single,), initial_value, max_complexity - 1)
+        if max_complexity >= 2:
+            double = MarchElement(
+                AddressOrder.UP,
+                (MarchOp("w", initial_value), MarchOp("w", 1 - initial_value)),
+            )
+            yield from grow((double,), 1 - initial_value, max_complexity - 2)
+
+
+def exhaustive_search(
+    verify: Verifier,
+    max_complexity: int = 10,
+    max_elements: int = 6,
+    min_complexity: int = 2,
+    budget: Optional[int] = None,
+    stats: Optional[SearchStats] = None,
+) -> Optional[MarchTest]:
+    """Find a minimal-complexity March test passing ``verify``.
+
+    Iterative deepening on complexity guarantees the first hit is
+    minimal within the grammar.  Returns ``None`` when no test of
+    complexity <= ``max_complexity`` exists (or the candidate ``budget``
+    runs out first).
+    """
+    stats = stats if stats is not None else SearchStats()
+    for bound in range(max(2, min_complexity), max_complexity + 1):
+        stats.complexity_reached = bound
+        seen = set()
+        for candidate in _marches(bound, max_elements, stats):
+            if candidate.complexity != bound:
+                continue
+            key = str(candidate)
+            if key in seen:
+                continue
+            seen.add(key)
+            stats.candidates_tested += 1
+            if budget is not None and stats.candidates_tested > budget:
+                return None
+            if verify(candidate):
+                return candidate
+    return None

@@ -1,0 +1,114 @@
+"""Fault diagnosis by output tracing (the paper's [6] direction).
+
+A March test does more than pass/fail: the *syndrome* — which verifying
+reads failed, where, and what they returned — narrows down which
+physical fault is present.  This module builds a fault dictionary by
+simulating every candidate fault case and matching observed syndromes
+against it.
+
+Diagnosis uses one concrete realization of the test (ANY orders
+resolved ascending) and the first behavioural variant of each case:
+a dictionary describes a deterministic test program on actual hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from .faults.faultlist import FaultList
+from .faults.instances import FaultCase
+from .march.test import MarchTest
+from .memory.array import MemoryArray
+from .simulator.coverage import concrete_realization
+from .simulator.engine import run_march
+
+#: One failing observation: (element, op, address, observed value).
+Failure = Tuple[int, int, int, object]
+Syndrome = FrozenSet[Failure]
+
+
+def syndrome_of(
+    test: MarchTest, make_instance, size: int
+) -> Syndrome:
+    """The failing-read signature of one fault instance."""
+    concrete = concrete_realization(test, up=True)
+    memory = MemoryArray(size, fault=make_instance())
+    run = run_march(concrete, memory)
+    return frozenset(
+        (r.element_index, r.op_index, r.address, r.actual)
+        for r in run.reads
+        if r.mismatch
+    )
+
+
+@dataclass
+class FaultDictionary:
+    """Syndrome -> candidate fault case names."""
+
+    test: MarchTest
+    size: int
+    entries: Dict[Syndrome, List[str]] = field(default_factory=dict)
+
+    @property
+    def syndromes(self) -> int:
+        return len(self.entries)
+
+    @property
+    def case_count(self) -> int:
+        return sum(len(names) for names in self.entries.values())
+
+    def diagnose(self, syndrome: Syndrome) -> Tuple[str, ...]:
+        """Candidate faults whose signature matches exactly."""
+        return tuple(self.entries.get(frozenset(syndrome), ()))
+
+    def resolution(self) -> float:
+        """Fraction of detectable cases with a unique syndrome."""
+        detectable = [
+            names for syndrome, names in self.entries.items() if syndrome
+        ]
+        total = sum(len(names) for names in detectable)
+        if total == 0:
+            return 1.0
+        unique = sum(1 for names in detectable if len(names) == 1)
+        return unique / total
+
+    def undetected_cases(self) -> Tuple[str, ...]:
+        """Cases whose syndrome is empty (the test misses them)."""
+        return tuple(self.entries.get(frozenset(), ()))
+
+
+def build_dictionary(
+    test: MarchTest,
+    cases: Sequence[FaultCase],
+    size: int = 4,
+) -> FaultDictionary:
+    """Simulate every case and index it by syndrome."""
+    dictionary = FaultDictionary(test, size)
+    for fault_case in cases:
+        signature = syndrome_of(test, fault_case.variants[0], size)
+        dictionary.entries.setdefault(signature, []).append(fault_case.name)
+    return dictionary
+
+
+def build_dictionary_for(
+    test: MarchTest, faults: FaultList, size: int = 4
+) -> FaultDictionary:
+    return build_dictionary(test, faults.instances(size), size)
+
+
+def diagnose_memory(
+    test: MarchTest,
+    memory: MemoryArray,
+    dictionary: FaultDictionary,
+) -> Tuple[str, ...]:
+    """Run the dictionary's test on a (possibly faulty) memory and
+    return the matching candidates."""
+    concrete = concrete_realization(test, up=True)
+    run = run_march(concrete, memory)
+    syndrome = frozenset(
+        (r.element_index, r.op_index, r.address, r.actual)
+        for r in run.reads
+        if r.mismatch
+    )
+    return dictionary.diagnose(syndrome)

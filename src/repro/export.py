@@ -1,0 +1,111 @@
+"""Exporting March tests to executable test programs.
+
+A March test is an abstract recipe; production use needs the concrete
+operation stream for an n-cell memory.  This module compiles a
+:class:`MarchTest` to:
+
+* :func:`operation_trace` -- the flat `(op, address, data)` sequence;
+* :func:`to_csv` -- the same trace in CSV form for testbench replay;
+* :func:`to_assembly` -- a tiny BIST-style microprogram listing with
+  loop structure preserved (one loop per element, not per operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .march.element import AddressOrder, DelayElement, MarchElement
+from .march.test import MarchTest
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One concrete memory operation of the compiled test."""
+
+    index: int
+    kind: str                 # "w", "r" or "T"
+    address: Optional[int]
+    data: Optional[int]       # written value or expected read value
+
+    def __str__(self) -> str:
+        if self.kind == "T":
+            return f"{self.index:6d}  wait"
+        data = "-" if self.data is None else str(self.data)
+        return f"{self.index:6d}  {self.kind} @{self.address} {data}"
+
+
+def operation_trace(test: MarchTest, size: int) -> Iterator[TraceEntry]:
+    """The flat operation stream on an n-cell memory.
+
+    ANY orders are realized ascending (the conventional default for
+    test programs; use :func:`repro.march.transforms.mirror` or concrete
+    orders for the other realization).
+    """
+    index = 0
+    for element in test.elements:
+        if isinstance(element, DelayElement):
+            yield TraceEntry(index, "T", None, None)
+            index += 1
+            continue
+        assert isinstance(element, MarchElement)
+        for address in element.order.addresses(size):
+            for op in element.ops:
+                yield TraceEntry(index, op.kind, address, op.value)
+                index += 1
+
+
+def to_csv(test: MarchTest, size: int, header: bool = True) -> str:
+    """CSV form: ``index,op,address,data``."""
+    lines: List[str] = []
+    if header:
+        lines.append("index,op,address,data")
+    for entry in operation_trace(test, size):
+        address = "" if entry.address is None else str(entry.address)
+        data = "" if entry.data is None else str(entry.data)
+        lines.append(f"{entry.index},{entry.kind},{address},{data}")
+    return "\n".join(lines)
+
+
+_DIRECTION = {
+    AddressOrder.UP: ("0", "N-1", "+1"),
+    AddressOrder.DOWN: ("N-1", "0", "-1"),
+    AddressOrder.ANY: ("0", "N-1", "+1"),
+}
+
+
+def to_assembly(test: MarchTest) -> str:
+    """A loop-structured BIST microprogram listing.
+
+    The output is symbolic in the memory size ``N`` -- the march
+    property that makes the algorithm O(n) with constant program size.
+    """
+    lines = [f"; {test.name or 'march test'}: {test}",
+             f"; complexity {test.complexity_label}"]
+    for number, element in enumerate(test.elements, 1):
+        if isinstance(element, DelayElement):
+            lines.append(f"E{number}:  WAIT Tret")
+            continue
+        assert isinstance(element, MarchElement)
+        start, stop, step = _DIRECTION[element.order]
+        lines.append(
+            f"E{number}:  FOR a = {start} TO {stop} STEP {step}"
+            + ("    ; order free" if element.order is AddressOrder.ANY else "")
+        )
+        for op in element.ops:
+            if op.is_write:
+                lines.append(f"       WRITE mem[a] <- {op.value}")
+            elif op.value is None:
+                lines.append("       READ  mem[a]")
+            else:
+                lines.append(f"       READ  mem[a] EXPECT {op.value}")
+        lines.append("     END")
+    return "\n".join(lines)
+
+
+def trace_length(test: MarchTest, size: int) -> int:
+    """Number of trace entries (march linearity: complexity * n + delays)."""
+    delays = sum(
+        1 for e in test.elements if isinstance(e, DelayElement)
+    )
+    return test.complexity * size + delays

@@ -1,0 +1,65 @@
+"""Fault models: BFEs, primitives, equivalence classes, instances."""
+
+from .bfe import BasicFaultEffect, BFEKind, delta_bfe, lambda_bfe
+from .faultlist import BFEClass, FaultList, FaultModel
+from .primitives import Effect, FaultPrimitive, Sensitization, parse_primitive
+from .instances import FaultCase, case
+from .generic import GenericPairFault, PairBFEInstance
+from .linked import (
+    LinkedIdempotentPair,
+    LinkedInversionPair,
+    linked_idempotent_cases,
+    linked_inversion_cases,
+)
+from .library import (
+    MODEL_REGISTRY,
+    AddressDecoderFault,
+    CouplingIdempotentFault,
+    CouplingInversionFault,
+    CouplingStateFault,
+    DataRetentionFault,
+    DeceptiveReadDisturbFault,
+    IncorrectReadFault,
+    ReadDisturbFault,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+    UserDefinedFault,
+    WriteDisturbFault,
+)
+
+__all__ = [
+    "LinkedIdempotentPair",
+    "LinkedInversionPair",
+    "linked_idempotent_cases",
+    "linked_inversion_cases",
+    "GenericPairFault",
+    "PairBFEInstance",
+    "BasicFaultEffect",
+    "BFEKind",
+    "delta_bfe",
+    "lambda_bfe",
+    "BFEClass",
+    "FaultList",
+    "FaultModel",
+    "Effect",
+    "FaultPrimitive",
+    "Sensitization",
+    "parse_primitive",
+    "FaultCase",
+    "case",
+    "MODEL_REGISTRY",
+    "AddressDecoderFault",
+    "CouplingIdempotentFault",
+    "CouplingInversionFault",
+    "CouplingStateFault",
+    "DataRetentionFault",
+    "DeceptiveReadDisturbFault",
+    "IncorrectReadFault",
+    "ReadDisturbFault",
+    "StuckAtFault",
+    "StuckOpenFault",
+    "TransitionFault",
+    "UserDefinedFault",
+    "WriteDisturbFault",
+]

@@ -1,0 +1,184 @@
+"""Basic Fault Effects (BFEs).
+
+A BFE (paper, Section 3, after [5][6]) is a faulty machine ``Mi`` whose
+transition function differs from the good machine ``M0`` in **exactly
+one** transition, or whose output function differs in exactly one
+output value.  Figure 3 of the paper shows the two BFEs composing the
+idempotent coupling fault ``<up, 0>``.
+
+A BFE directly induces the test patterns able to cover it
+(:mod:`repro.patterns.test_pattern`):
+
+* a *delta*-BFE at ``(state, op)`` with faulty target ``t`` is excited
+  by driving the memory to ``state`` and applying ``op``; it is observed
+  by read-and-verifying any cell on which the good next state and ``t``
+  disagree;
+* a *lambda*-BFE at ``(state, read op)`` is excited and observed by the
+  read itself: drive to ``state`` and read-and-verify the good value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..memory.mealy import MealyMachine
+from ..memory.operations import Operation
+from ..memory.state import MemoryState
+
+
+class BFEKind(enum.Enum):
+    """Whether the deviation affects ``delta`` or ``lambda``."""
+
+    DELTA = "delta"
+    LAMBDA = "lambda"
+
+
+@dataclass(frozen=True)
+class BasicFaultEffect:
+    """A single-deviation faulty behaviour.
+
+    Attributes
+    ----------
+    kind:
+        ``BFEKind.DELTA`` or ``BFEKind.LAMBDA``.
+    state:
+        The machine state at which the deviation applies.  May contain
+        don't-cares, in which case the deviation applies at every
+        completion of the state (a compact encoding of a *family* of
+        single-deviation machines that always occur together; e.g. a
+        single-cell fault lifted to the two-cell machine).
+    op:
+        The input operation triggering the deviation.
+    faulty_next:
+        For delta-BFEs: the faulty next state (concrete cells only where
+        they deviate; don't-care cells follow the good machine).
+    faulty_output:
+        For lambda-BFEs: the faulty read output.
+    label:
+        Human-readable provenance, e.g. ``"CFid<up,0> i->j"``.
+    """
+
+    kind: BFEKind
+    state: MemoryState
+    op: Operation
+    faulty_next: Optional[MemoryState] = None
+    faulty_output: Optional[object] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is BFEKind.DELTA:
+            if self.faulty_next is None:
+                raise ValueError("delta-BFE requires faulty_next")
+            if self.op.is_read:
+                # Destructive reads are modelled as delta deviations on a
+                # read input; allowed.
+                pass
+        else:
+            if self.faulty_output is None:
+                raise ValueError("lambda-BFE requires faulty_output")
+            if not self.op.is_read:
+                raise ValueError("lambda-BFE must deviate on a read")
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def cells(self) -> Tuple[str, ...]:
+        return self.state.cells
+
+    def good_next(self, state: MemoryState) -> MemoryState:
+        """Good-machine next state from a concrete completion."""
+        return state.apply(self.op)
+
+    def deviating_cells(self, state: MemoryState) -> Tuple[str, ...]:
+        """Cells whose value differs between good and faulty next state.
+
+        ``state`` must be a concrete completion of ``self.state``.
+        """
+        if self.kind is not BFEKind.DELTA:
+            return ()
+        good = self.good_next(state)
+        faulty = self.concrete_faulty_next(state)
+        return tuple(
+            cell for cell in self.cells if good[cell] != faulty[cell]
+        )
+
+    def concrete_faulty_next(self, state: MemoryState) -> MemoryState:
+        """Faulty next state from a concrete completion of ``self.state``.
+
+        Don't-care cells of ``faulty_next`` follow the good machine.
+        """
+        if self.kind is not BFEKind.DELTA:
+            raise ValueError("only delta-BFEs have a faulty next state")
+        good = self.good_next(state)
+        assert self.faulty_next is not None
+        return _overlay(good, self.faulty_next)
+
+    # -- machine construction ------------------------------------------------
+
+    def apply_to(self, machine: MealyMachine, name: str = "") -> MealyMachine:
+        """Build the faulty Mealy machine ``Mi`` by deviating ``machine``.
+
+        When ``self.state`` has don't-cares the deviation is installed at
+        every concrete completion (and at matching non-initialized
+        states where defined).
+        """
+        faulty = machine.copy(name or (self.label or "Mi"))
+        for concrete in self.state.completions():
+            key = (concrete, self.op if not self.op.is_verifying_read
+                   else self.op.plain_read())
+            if key not in faulty.delta:
+                continue
+            if self.kind is BFEKind.DELTA:
+                faulty.delta[key] = self.concrete_faulty_next(concrete)
+            else:
+                faulty.lam[key] = self.faulty_output
+        return faulty
+
+    def is_single_deviation(self) -> bool:
+        """True when ``state`` is concrete (a literal paper BFE)."""
+        return self.state.is_concrete
+
+    def __str__(self) -> str:
+        core = f"{self.state} --{self.op}--> "
+        if self.kind is BFEKind.DELTA:
+            core += f"{self.faulty_next} (delta)"
+        else:
+            core += f"out={self.faulty_output} (lambda)"
+        if self.label:
+            core = f"[{self.label}] " + core
+        return core
+
+
+def _overlay(good: MemoryState, faulty: MemoryState) -> MemoryState:
+    """Overlay the concrete cells of ``faulty`` onto ``good``."""
+    values = tuple(
+        fv if fv != "-" else gv
+        for (_, gv), (_, fv) in zip(good, faulty)
+    )
+    return MemoryState(good.cells, values)
+
+
+def delta_bfe(
+    state: MemoryState,
+    op: Operation,
+    faulty_next: MemoryState,
+    label: str = "",
+) -> BasicFaultEffect:
+    """Convenience constructor for a delta-BFE."""
+    return BasicFaultEffect(
+        BFEKind.DELTA, state, op, faulty_next=faulty_next, label=label
+    )
+
+
+def lambda_bfe(
+    state: MemoryState,
+    op: Operation,
+    faulty_output: object,
+    label: str = "",
+) -> BasicFaultEffect:
+    """Convenience constructor for a lambda-BFE."""
+    return BasicFaultEffect(
+        BFEKind.LAMBDA, state, op, faulty_output=faulty_output, label=label
+    )

@@ -1,0 +1,377 @@
+"""Concrete injectable fault instances for n-cell simulated memories.
+
+These classes implement the behavioural hooks of
+:class:`repro.memory.array.FaultInstance` and are what the fault
+simulator (paper, Section 6) injects into a :class:`MemoryArray` to
+validate generated March tests.
+
+Faults whose behaviour depends on an unknowable physical condition
+(e.g. the value a dead cell floats to) are represented by a
+:class:`FaultCase` with several *variants*; a test detects the case
+only if it detects **every** variant (worst-case semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..memory.array import MemoryArray, NullFaultInstance
+from ..memory.state import DASH
+
+
+@dataclass(frozen=True)
+class FaultCase:
+    """One physical fault to detect, with worst-case behavioural variants."""
+
+    name: str
+    variants: Tuple[Callable[[], object], ...]
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError(f"fault case {self.name!r} has no variants")
+
+
+def case(name: str, *factories: Callable[[], object]) -> FaultCase:
+    return FaultCase(name, tuple(factories))
+
+
+# ---------------------------------------------------------------------------
+# Single-cell faults
+# ---------------------------------------------------------------------------
+
+
+class StuckAtInstance(NullFaultInstance):
+    """Cell ``cell`` permanently holds ``value`` (SA0/SA1)."""
+
+    def __init__(self, cell: int, value: int) -> None:
+        self.cell = cell
+        self.value = value
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        if address == self.cell:
+            memory.raw[address] = self.value
+        else:
+            memory.raw[address] = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        if address == self.cell:
+            return self.value
+        return memory.raw[address]
+
+    def settle(self, memory: MemoryArray) -> None:
+        """Persistent defect: re-assert the stuck value (used by
+        composite multi-defect injection)."""
+        memory.raw[self.cell] = self.value
+
+
+class TransitionFaultInstance(NullFaultInstance):
+    """Cell cannot make the ``0->1`` (rising) or ``1->0`` transition."""
+
+    def __init__(self, cell: int, rising: bool) -> None:
+        self.cell = cell
+        self.rising = rising
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        if address == self.cell:
+            old = memory.raw[address]
+            fails = (old == 0 and value == 1) if self.rising else (
+                old == 1 and value == 0
+            )
+            if fails:
+                return  # the transition silently fails
+        memory.raw[address] = value
+
+
+class ReadDisturbInstance(NullFaultInstance):
+    """Reading the cell while it holds ``value`` flips it.
+
+    ``deceptive`` selects the DRDF flavour: the read *returns* the
+    correct old value but still flips the cell.  Plain RDF returns the
+    flipped (wrong) value.
+    """
+
+    def __init__(self, cell: int, value: int, deceptive: bool = False) -> None:
+        self.cell = cell
+        self.value = value
+        self.deceptive = deceptive
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        old = memory.raw[address]
+        if address == self.cell and old == self.value:
+            memory.raw[address] = 1 - self.value
+            return self.value if self.deceptive else 1 - self.value
+        return old
+
+
+class IncorrectReadInstance(NullFaultInstance):
+    """Reading the cell while it holds ``value`` returns the complement
+    without changing the stored value (IRF)."""
+
+    def __init__(self, cell: int, value: int) -> None:
+        self.cell = cell
+        self.value = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        old = memory.raw[address]
+        if address == self.cell and old == self.value:
+            return 1 - self.value
+        return old
+
+
+class WriteDisturbInstance(NullFaultInstance):
+    """A non-transition write of ``value`` flips the cell (WDF)."""
+
+    def __init__(self, cell: int, value: int) -> None:
+        self.cell = cell
+        self.value = value
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        old = memory.raw[address]
+        if address == self.cell and old == self.value and value == self.value:
+            memory.raw[address] = 1 - self.value
+            return
+        memory.raw[address] = value
+
+
+class DataRetentionInstance(NullFaultInstance):
+    """After a retention period the cell decays from ``from_value``."""
+
+    def __init__(self, cell: int, from_value: int) -> None:
+        self.cell = cell
+        self.from_value = from_value
+
+    def on_wait(self, memory: MemoryArray) -> None:
+        if memory.raw[self.cell] == self.from_value:
+            memory.raw[self.cell] = 1 - self.from_value
+
+
+class StuckOpenInstance(NullFaultInstance):
+    """The cell line is open: reads return the sense-amplifier latch,
+    i.e. the value returned by the *previous* read of any cell.
+
+    ``initial_latch`` is the unknowable power-up latch content; fault
+    cases enumerate both values adversarially.  Writes to the open cell
+    are lost.
+    """
+
+    def __init__(self, cell: int, initial_latch: int) -> None:
+        self.cell = cell
+        self.latch: object = initial_latch
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        if address == self.cell:
+            return
+        memory.raw[address] = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        if address == self.cell:
+            return self.latch
+        value = memory.raw[address]
+        if value in (0, 1):
+            self.latch = value
+        return value
+
+
+class DeadCellInstance(NullFaultInstance):
+    """Address-decoder fault type A: the cell is never accessed.
+
+    Reads float to ``float_value`` (adversarially enumerated); writes
+    are lost.
+    """
+
+    def __init__(self, cell: int, float_value: int) -> None:
+        self.cell = cell
+        self.float_value = float_value
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        if address == self.cell:
+            return
+        memory.raw[address] = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        if address == self.cell:
+            return self.float_value
+        return memory.raw[address]
+
+
+# ---------------------------------------------------------------------------
+# Two-cell faults
+# ---------------------------------------------------------------------------
+
+
+class CouplingIdempotentInstance(NullFaultInstance):
+    """CFid ``<up/down, force_value>``: a rising (or falling) transition
+    of the aggressor forces the victim to ``force_value``."""
+
+    def __init__(
+        self, aggressor: int, victim: int, rising: bool, force_value: int
+    ) -> None:
+        if aggressor == victim:
+            raise ValueError("aggressor and victim must differ")
+        self.aggressor = aggressor
+        self.victim = victim
+        self.rising = rising
+        self.force_value = force_value
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        old = memory.raw[address]
+        memory.raw[address] = value
+        if address != self.aggressor:
+            return
+        fired = (old == 0 and value == 1) if self.rising else (
+            old == 1 and value == 0
+        )
+        if fired:
+            memory.raw[self.victim] = self.force_value
+
+
+class CouplingInversionInstance(NullFaultInstance):
+    """CFin ``<up/down, inv>``: an aggressor transition inverts the victim."""
+
+    def __init__(self, aggressor: int, victim: int, rising: bool) -> None:
+        if aggressor == victim:
+            raise ValueError("aggressor and victim must differ")
+        self.aggressor = aggressor
+        self.victim = victim
+        self.rising = rising
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        old = memory.raw[address]
+        memory.raw[address] = value
+        if address != self.aggressor:
+            return
+        fired = (old == 0 and value == 1) if self.rising else (
+            old == 1 and value == 0
+        )
+        if fired:
+            victim_value = memory.raw[self.victim]
+            if victim_value in (0, 1):
+                memory.raw[self.victim] = 1 - int(victim_value)
+
+
+class CouplingStateInstance(NullFaultInstance):
+    """CFst ``<agg_state, forced_value>``: while the aggressor holds
+    ``agg_state`` the victim is forced to ``forced_value``."""
+
+    def __init__(
+        self, aggressor: int, victim: int, agg_state: int, forced_value: int
+    ) -> None:
+        if aggressor == victim:
+            raise ValueError("aggressor and victim must differ")
+        self.aggressor = aggressor
+        self.victim = victim
+        self.agg_state = agg_state
+        self.forced_value = forced_value
+
+    def _enforce(self, memory: MemoryArray) -> None:
+        if memory.raw[self.aggressor] == self.agg_state:
+            memory.raw[self.victim] = self.forced_value
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        memory.raw[address] = value
+        self._enforce(memory)
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        self._enforce(memory)
+        return memory.raw[address]
+
+    def settle(self, memory: MemoryArray) -> None:
+        """Persistent condition: re-enforce while the aggressor holds
+        its state (used by composite multi-defect injection)."""
+        self._enforce(memory)
+
+
+class WrongCellAccessInstance(NullFaultInstance):
+    """Address-decoder fault type B: accesses to ``a`` reach ``b`` instead."""
+
+    def __init__(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("the two addresses must differ")
+        self.a = a
+        self.b = b
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        target = self.b if address == self.a else address
+        memory.raw[target] = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        source = self.b if address == self.a else address
+        return memory.raw[source]
+
+
+class MultiCellAccessInstance(NullFaultInstance):
+    """Address-decoder fault type C: accesses to ``a`` also reach ``b``.
+
+    Writes go to both cells.  The value returned by a conflicting read
+    of ``a`` is physically indeterminate, so the read model is a
+    variant: wired-AND, wired-OR, own-cell-wins or other-cell-wins.  A
+    test only counts the fault as detected when every read model is
+    caught (worst-case semantics).
+    """
+
+    READ_MODELS = ("and", "or", "own", "other")
+
+    def __init__(self, a: int, b: int, read_model: str = "and") -> None:
+        if a == b:
+            raise ValueError("the two addresses must differ")
+        if read_model not in self.READ_MODELS:
+            raise ValueError(f"unknown read model {read_model!r}")
+        self.a = a
+        self.b = b
+        self.read_model = read_model
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        memory.raw[address] = value
+        if address == self.a:
+            memory.raw[self.b] = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        if address != self.a:
+            return memory.raw[address]
+        va, vb = memory.raw[self.a], memory.raw[self.b]
+        if self.read_model == "own":
+            return va
+        if self.read_model == "other":
+            return vb
+        if va == DASH or vb == DASH:
+            return DASH
+        if self.read_model == "and":
+            return int(va) & int(vb)
+        return int(va) | int(vb)
+
+
+class SharedCellAccessInstance(NullFaultInstance):
+    """Address-decoder fault type D: addresses ``a`` and ``b`` both map
+    to cell ``a`` (cell ``b`` is shadowed)."""
+
+    def __init__(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("the two addresses must differ")
+        self.a = a
+        self.b = b
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        target = self.a if address == self.b else address
+        memory.raw[target] = value
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        source = self.a if address == self.b else address
+        return memory.raw[source]
+
+
+class ReadCouplingInstance(NullFaultInstance):
+    """CFrd: reading the aggressor forces the victim to ``forced``."""
+
+    def __init__(self, aggressor: int, victim: int, forced: int) -> None:
+        if aggressor == victim:
+            raise ValueError("aggressor and victim must differ")
+        self.aggressor = aggressor
+        self.victim = victim
+        self.forced = forced
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        value = memory.raw[address]
+        if address == self.aggressor:
+            memory.raw[self.victim] = self.forced
+        return value

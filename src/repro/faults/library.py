@@ -1,0 +1,756 @@
+"""The fault-model library.
+
+Each model maps a classic memory fault (van de Goor [1][9]) onto:
+
+* :meth:`~repro.faults.faultlist.FaultModel.classes` -- BFE equivalence
+  classes over the symbolic two-cell machine, consumed by the March
+  test generator;
+* :meth:`~repro.faults.faultlist.FaultModel.instances` -- concrete
+  behavioural fault cases for an n-cell simulated memory, consumed by
+  the fault simulator (paper, Section 6).
+
+Single-cell faults are lifted onto cell ``i`` of the two-cell machine
+with a don't-care on the other cell and flagged *cell-symmetric*: the
+per-cell operation stream of a March test is identical for every cell,
+so one symbolic representative suffices.
+
+Two-cell (coupling / address) faults produce one class per aggressor ->
+victim direction, because the address order of March elements treats
+the lower- and higher-address cell differently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..memory.operations import Operation, read, wait, write
+from ..memory.state import DASH, MemoryState
+from .bfe import BasicFaultEffect, delta_bfe, lambda_bfe
+from .faultlist import BFEClass, FaultModel
+from .instances import (
+    CouplingIdempotentInstance,
+    CouplingInversionInstance,
+    CouplingStateInstance,
+    DataRetentionInstance,
+    DeadCellInstance,
+    FaultCase,
+    IncorrectReadInstance,
+    MultiCellAccessInstance,
+    ReadDisturbInstance,
+    SharedCellAccessInstance,
+    StuckAtInstance,
+    StuckOpenInstance,
+    TransitionFaultInstance,
+    WriteDisturbInstance,
+    WrongCellAccessInstance,
+    case,
+)
+
+
+def _pair_state(cells: Sequence[str], **values: object) -> MemoryState:
+    """State over ``cells`` with the given per-cell values, '-' elsewhere."""
+    return MemoryState(
+        tuple(cells), tuple(values.get(c, DASH) for c in cells)
+    )
+
+
+def _directions(cells: Sequence[str]) -> Tuple[Tuple[str, str], ...]:
+    """All ordered (aggressor, victim) pairs of the machine's cells."""
+    return tuple(
+        (a, v) for a in cells for v in cells if a != v
+    )
+
+
+def _pairs(size: int) -> Tuple[Tuple[int, int], ...]:
+    return tuple((a, v) for a in range(size) for v in range(size) if a != v)
+
+
+# ---------------------------------------------------------------------------
+# Single-cell faults
+# ---------------------------------------------------------------------------
+
+
+class StuckAtFault(FaultModel):
+    """SAF: the cell permanently holds 0 (SA0) or 1 (SA1).
+
+    Each polarity is one equivalence class with two alternative BFEs:
+    the lost transition (delta) or the wrong read value (lambda) -- a
+    test covering either observes the stuck cell.
+    """
+
+    name = "SAF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for stuck in (0, 1):
+            good = 1 - stuck
+            members = (
+                delta_bfe(
+                    _pair_state(cells, **{c: stuck}),
+                    write(c, good),
+                    _pair_state(cells, **{c: stuck}),
+                    label=f"SA{stuck} lost w{good}",
+                ),
+                lambda_bfe(
+                    _pair_state(cells, **{c: good}),
+                    read(c),
+                    stuck,
+                    label=f"SA{stuck} reads {stuck}",
+                ),
+            )
+            out.append(
+                BFEClass(f"SA{stuck}", members, cell_symmetric=True)
+            )
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"SA{value}@{cell}",
+                lambda cell=cell, value=value: StuckAtInstance(cell, value),
+            )
+            for cell in range(size)
+            for value in (0, 1)
+        )
+
+
+class TransitionFault(FaultModel):
+    """TF: the cell fails its up (``<up,stay>``) or down transition."""
+
+    name = "TF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for start, label in ((0, "TF<up>"), (1, "TF<down>")):
+            bfe = delta_bfe(
+                _pair_state(cells, **{c: start}),
+                write(c, 1 - start),
+                _pair_state(cells, **{c: start}),
+                label=label,
+            )
+            out.append(BFEClass(label, (bfe,), cell_symmetric=True))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"TF{'up' if rising else 'down'}@{cell}",
+                lambda cell=cell, rising=rising: TransitionFaultInstance(
+                    cell, rising
+                ),
+            )
+            for cell in range(size)
+            for rising in (True, False)
+        )
+
+
+class ReadDisturbFault(FaultModel):
+    """RDF: reading the cell flips it and returns the wrong value.
+
+    The wrong returned value is itself the observation, so the class
+    reduces to a lambda BFE per polarity.
+    """
+
+    name = "RDF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for value in (0, 1):
+            bfe = lambda_bfe(
+                _pair_state(cells, **{c: value}),
+                read(c),
+                1 - value,
+                label=f"RDF<r{value}>",
+            )
+            out.append(BFEClass(f"RDF<r{value}>", (bfe,), cell_symmetric=True))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"RDF{value}@{cell}",
+                lambda cell=cell, value=value: ReadDisturbInstance(
+                    cell, value, deceptive=False
+                ),
+            )
+            for cell in range(size)
+            for value in (0, 1)
+        )
+
+
+class DeceptiveReadDisturbFault(FaultModel):
+    """DRDF: the read returns the correct value but flips the cell.
+
+    Modelled as a destructive-read delta BFE: observation requires a
+    second read of the same cell.
+    """
+
+    name = "DRDF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for value in (0, 1):
+            bfe = delta_bfe(
+                _pair_state(cells, **{c: value}),
+                read(c),
+                _pair_state(cells, **{c: 1 - value}),
+                label=f"DRDF<r{value}>",
+            )
+            out.append(BFEClass(f"DRDF<r{value}>", (bfe,), cell_symmetric=True))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"DRDF{value}@{cell}",
+                lambda cell=cell, value=value: ReadDisturbInstance(
+                    cell, value, deceptive=True
+                ),
+            )
+            for cell in range(size)
+            for value in (0, 1)
+        )
+
+
+class IncorrectReadFault(FaultModel):
+    """IRF: the read returns the wrong value; the cell is unchanged."""
+
+    name = "IRF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for value in (0, 1):
+            bfe = lambda_bfe(
+                _pair_state(cells, **{c: value}),
+                read(c),
+                1 - value,
+                label=f"IRF<r{value}>",
+            )
+            out.append(BFEClass(f"IRF<r{value}>", (bfe,), cell_symmetric=True))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"IRF{value}@{cell}",
+                lambda cell=cell, value=value: IncorrectReadInstance(cell, value),
+            )
+            for cell in range(size)
+            for value in (0, 1)
+        )
+
+
+class WriteDisturbFault(FaultModel):
+    """WDF: a non-transition write (w0 to a 0 cell / w1 to a 1 cell)
+    flips the cell."""
+
+    name = "WDF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for value in (0, 1):
+            bfe = delta_bfe(
+                _pair_state(cells, **{c: value}),
+                write(c, value),
+                _pair_state(cells, **{c: 1 - value}),
+                label=f"WDF<w{value}>",
+            )
+            out.append(BFEClass(f"WDF<w{value}>", (bfe,), cell_symmetric=True))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"WDF{value}@{cell}",
+                lambda cell=cell, value=value: WriteDisturbInstance(cell, value),
+            )
+            for cell in range(size)
+            for value in (0, 1)
+        )
+
+
+class DataRetentionFault(FaultModel):
+    """DRF: the cell loses its content during a retention period ``T``."""
+
+    name = "DRF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for value in (0, 1):
+            bfe = delta_bfe(
+                _pair_state(cells, **{c: value}),
+                wait(),
+                _pair_state(cells, **{c: 1 - value}),
+                label=f"DRF<{value}->{1 - value}>",
+            )
+            out.append(
+                BFEClass(f"DRF<{value}>", (bfe,), cell_symmetric=True)
+            )
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"DRF{value}@{cell}",
+                lambda cell=cell, value=value: DataRetentionInstance(cell, value),
+            )
+            for cell in range(size)
+            for value in (0, 1)
+        )
+
+
+class StuckOpenFault(FaultModel):
+    """SOF: the cell line is open; reads return the sense-amplifier
+    latch.  Detection requires observing both a wrong 0 and a wrong 1,
+    hence two singleton classes (worst-case latch content)."""
+
+    name = "SOF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for value in (0, 1):
+            bfe = lambda_bfe(
+                _pair_state(cells, **{c: value}),
+                read(c),
+                1 - value,
+                label=f"SOF<r{value}>",
+            )
+            out.append(BFEClass(f"SOF<r{value}>", (bfe,), cell_symmetric=True))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        return tuple(
+            case(
+                f"SOF@{cell}",
+                lambda cell=cell: StuckOpenInstance(cell, initial_latch=0),
+                lambda cell=cell: StuckOpenInstance(cell, initial_latch=1),
+            )
+            for cell in range(size)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Two-cell coupling faults
+# ---------------------------------------------------------------------------
+
+
+def _transition_writes(rising: bool) -> Tuple[int, int]:
+    """(initial aggressor value, written value) of the transition."""
+    return (0, 1) if rising else (1, 0)
+
+
+class CouplingIdempotentFault(FaultModel):
+    """CFid ``<up/down, 0/1>``: an aggressor transition forces the victim.
+
+    Each (transition, forced value, direction) is a singleton class:
+    the only deviating state has the victim at the complement of the
+    forced value (paper, Figure 3).
+    """
+
+    name = "CFID"
+
+    def __init__(self, primitives: Sequence[str] = ("up", "down"),
+                 values: Sequence[int] = (0, 1)) -> None:
+        self.primitives = tuple(primitives)
+        self.values = tuple(values)
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        out = []
+        for prim in self.primitives:
+            rising = prim == "up"
+            start, written = _transition_writes(rising)
+            for forced in self.values:
+                for agg, vic in _directions(cells):
+                    state = _pair_state(cells, **{agg: start, vic: 1 - forced})
+                    faulty = _pair_state(cells, **{vic: forced})
+                    name = f"CFid<{prim},{forced}> {agg}->{vic}"
+                    bfe = delta_bfe(state, write(agg, written), faulty, label=name)
+                    out.append(BFEClass(name, (bfe,)))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        out = []
+        for prim in self.primitives:
+            rising = prim == "up"
+            for forced in self.values:
+                for agg, vic in _pairs(size):
+                    out.append(
+                        case(
+                            f"CFid<{prim},{forced}> {agg}->{vic}",
+                            lambda agg=agg, vic=vic, rising=rising, forced=forced:
+                            CouplingIdempotentInstance(agg, vic, rising, forced),
+                        )
+                    )
+        return tuple(out)
+
+
+class CouplingInversionFault(FaultModel):
+    """CFin ``<up/down, inv>``: an aggressor transition inverts the victim.
+
+    Each (transition, direction) is a class of **two** alternative BFEs
+    -- victim initially 0 or initially 1 -- of which covering either
+    detects the fault (the paper's Section 5 example).
+    """
+
+    name = "CFIN"
+
+    def __init__(self, primitives: Sequence[str] = ("up", "down")) -> None:
+        self.primitives = tuple(primitives)
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        out = []
+        for prim in self.primitives:
+            rising = prim == "up"
+            start, written = _transition_writes(rising)
+            for agg, vic in _directions(cells):
+                members = []
+                for vic_value in (0, 1):
+                    state = _pair_state(
+                        cells, **{agg: start, vic: vic_value}
+                    )
+                    faulty = _pair_state(cells, **{vic: 1 - vic_value})
+                    members.append(
+                        delta_bfe(
+                            state,
+                            write(agg, written),
+                            faulty,
+                            label=f"CFin<{prim},inv> {agg}->{vic} victim@{vic_value}",
+                        )
+                    )
+                name = f"CFin<{prim},inv> {agg}->{vic}"
+                out.append(BFEClass(name, tuple(members)))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        out = []
+        for prim in self.primitives:
+            rising = prim == "up"
+            for agg, vic in _pairs(size):
+                out.append(
+                    case(
+                        f"CFin<{prim}> {agg}->{vic}",
+                        lambda agg=agg, vic=vic, rising=rising:
+                        CouplingInversionInstance(agg, vic, rising),
+                    )
+                )
+        return tuple(out)
+
+
+class CouplingStateFault(FaultModel):
+    """CFst ``<0/1, 0/1>``: while the aggressor holds a value the victim
+    is forced.  Two alternative BFEs per class: the victim write that
+    fails, or the aggressor write that drags the victim along."""
+
+    name = "CFST"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        out = []
+        for agg_value in (0, 1):
+            for forced in (0, 1):
+                for agg, vic in _directions(cells):
+                    lost_write = delta_bfe(
+                        _pair_state(cells, **{agg: agg_value, vic: forced}),
+                        write(vic, 1 - forced),
+                        _pair_state(cells, **{vic: forced}),
+                        label=(
+                            f"CFst<{agg_value},{forced}> {agg}->{vic}"
+                            " lost victim write"
+                        ),
+                    )
+                    dragged = delta_bfe(
+                        _pair_state(
+                            cells, **{agg: 1 - agg_value, vic: 1 - forced}
+                        ),
+                        write(agg, agg_value),
+                        _pair_state(cells, **{vic: forced}),
+                        label=(
+                            f"CFst<{agg_value},{forced}> {agg}->{vic}"
+                            " aggressor entry"
+                        ),
+                    )
+                    name = f"CFst<{agg_value},{forced}> {agg}->{vic}"
+                    out.append(BFEClass(name, (lost_write, dragged)))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        out = []
+        for agg_value in (0, 1):
+            for forced in (0, 1):
+                for agg, vic in _pairs(size):
+                    out.append(
+                        case(
+                            f"CFst<{agg_value},{forced}> {agg}->{vic}",
+                            lambda agg=agg, vic=vic, s=agg_value, f=forced:
+                            CouplingStateInstance(agg, vic, s, f),
+                        )
+                    )
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Address decoder faults
+# ---------------------------------------------------------------------------
+
+
+class AddressDecoderFault(FaultModel):
+    """ADF: the four classic address-decoder fault types.
+
+    * type A -- a cell is never accessed (dead cell);
+    * type B -- accesses to one address reach another cell instead;
+    * type C -- accesses to one address also reach another cell;
+    * type D -- two addresses map to the same cell.
+
+    Type A reduces to the transition-fault classes (worst-case float
+    value).  Types B/C/D are modelled behaviourally: each direction is a
+    single physical fault, hence one equivalence class whose members are
+    every delta/lambda deviation of the faulty machine -- detecting any
+    one deviation detects the fault.
+    """
+
+    name = "ADF"
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        out: List[BFEClass] = []
+        out.extend(self._type_a_classes(cells))
+        for agg, vic in _directions(cells):
+            out.append(self._type_b_class(cells, agg, vic))
+            out.append(self._type_c_class(cells, agg, vic))
+            out.append(self._type_d_class(cells, agg, vic))
+        return tuple(out)
+
+    def _type_a_classes(self, cells: Sequence[str]) -> Tuple[BFEClass, ...]:
+        c = cells[0]
+        out = []
+        for start in (0, 1):
+            bfe = delta_bfe(
+                _pair_state(cells, **{c: start}),
+                write(c, 1 - start),
+                _pair_state(cells, **{c: start}),
+                label=f"ADF-A lost w{1 - start}",
+            )
+            out.append(
+                BFEClass(f"ADF-A<{start}>", (bfe,), cell_symmetric=True)
+            )
+        return tuple(out)
+
+    def _enumerate_deviations(
+        self,
+        cells: Sequence[str],
+        name: str,
+        delta_map: Callable[[MemoryState, Operation], MemoryState],
+        read_map: Callable[[MemoryState, str], object],
+    ) -> BFEClass:
+        """Build one class holding every deviation of a faulty machine."""
+        from itertools import product
+
+        members: List[BasicFaultEffect] = []
+        concrete_states = [
+            MemoryState(tuple(cells), combo)
+            for combo in product((0, 1), repeat=len(cells))
+        ]
+        for state in concrete_states:
+            for cell in cells:
+                for value in (0, 1):
+                    op = write(cell, value)
+                    good = state.apply(op)
+                    faulty = delta_map(state, op)
+                    if faulty != good:
+                        members.append(
+                            delta_bfe(state, op, faulty, label=f"{name} {state}/{op}")
+                        )
+            for cell in cells:
+                good_out = state[cell]
+                faulty_out = read_map(state, cell)
+                if faulty_out != good_out:
+                    members.append(
+                        lambda_bfe(
+                            state, read(cell), faulty_out,
+                            label=f"{name} {state}/r{cell}",
+                        )
+                    )
+        return BFEClass(name, tuple(members))
+
+    def _type_b_class(
+        self, cells: Sequence[str], a: str, b: str
+    ) -> BFEClass:
+        def delta_map(state: MemoryState, op: Operation) -> MemoryState:
+            target = b if op.cell == a else op.cell
+            return state.set(target, op.value)
+
+        def read_map(state: MemoryState, cell: str) -> object:
+            return state[b if cell == a else cell]
+
+        return self._enumerate_deviations(
+            cells, f"ADF-B {a}=>{b}", delta_map, read_map
+        )
+
+    def _type_c_class(
+        self, cells: Sequence[str], a: str, b: str
+    ) -> BFEClass:
+        def delta_map(state: MemoryState, op: Operation) -> MemoryState:
+            nxt = state.set(op.cell, op.value)
+            if op.cell == a:
+                nxt = nxt.set(b, op.value)
+            return nxt
+
+        def read_map(state: MemoryState, cell: str) -> object:
+            if cell != a:
+                return state[cell]
+            va, vb = state[a], state[b]
+            if va in (0, 1) and vb in (0, 1):
+                return int(va) & int(vb)
+            return DASH
+
+        return self._enumerate_deviations(
+            cells, f"ADF-C {a}+{b}", delta_map, read_map
+        )
+
+    def _type_d_class(
+        self, cells: Sequence[str], a: str, b: str
+    ) -> BFEClass:
+        def delta_map(state: MemoryState, op: Operation) -> MemoryState:
+            target = a if op.cell == b else op.cell
+            return state.set(target, op.value)
+
+        def read_map(state: MemoryState, cell: str) -> object:
+            return state[a if cell == b else cell]
+
+        return self._enumerate_deviations(
+            cells, f"ADF-D {a}<={b}", delta_map, read_map
+        )
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        out: List[FaultCase] = []
+        for cell in range(size):
+            out.append(
+                case(
+                    f"ADF-A@{cell}",
+                    lambda cell=cell: DeadCellInstance(cell, 0),
+                    lambda cell=cell: DeadCellInstance(cell, 1),
+                )
+            )
+        for a, b in _pairs(size):
+            out.append(
+                case(
+                    f"ADF-B {a}=>{b}",
+                    lambda a=a, b=b: WrongCellAccessInstance(a, b),
+                )
+            )
+            out.append(
+                case(
+                    f"ADF-C {a}+{b}",
+                    *(
+                        lambda a=a, b=b, m=m: MultiCellAccessInstance(a, b, m)
+                        for m in MultiCellAccessInstance.READ_MODELS
+                    ),
+                )
+            )
+            out.append(
+                case(
+                    f"ADF-D {a}<={b}",
+                    lambda a=a, b=b: SharedCellAccessInstance(a, b),
+                )
+            )
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# User-defined faults
+# ---------------------------------------------------------------------------
+
+
+class UserDefinedFault(FaultModel):
+    """A fault model supplied directly as BFE classes (paper, Section 1:
+    the representation can "possibly add new user-defined faults").
+
+    ``instance_cases`` is optional: models without behavioural instances
+    are skipped by simulator-based validation and covered symbolically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        classes: Sequence[BFEClass],
+        instance_cases: Callable[[int], Tuple[FaultCase, ...]] = None,
+    ) -> None:
+        self.name = name
+        self._classes = tuple(classes)
+        self._instance_cases = instance_cases
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        return self._classes
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        if self._instance_cases is None:
+            return ()
+        return self._instance_cases(size)
+
+
+#: Registry used by :meth:`FaultList.from_names`.
+MODEL_REGISTRY = {
+    "SAF": StuckAtFault,
+    "TF": TransitionFault,
+    "ADF": AddressDecoderFault,
+    "CFIN": CouplingInversionFault,
+    "CFID": CouplingIdempotentFault,
+    "CFST": CouplingStateFault,
+    "RDF": ReadDisturbFault,
+    "DRDF": DeceptiveReadDisturbFault,
+    "IRF": IncorrectReadFault,
+    "WDF": WriteDisturbFault,
+    "DRF": DataRetentionFault,
+    "SOF": StuckOpenFault,
+}
+
+
+class ReadCouplingFault(FaultModel):
+    """CFrd ``<r,0/1>``: reading the aggressor forces the victim.
+
+    A disturb coupling sensitized by a *read* of the aggressor cell --
+    the read itself is non-destructive on the aggressor, but bit-line
+    activity forces the victim to a value.  Each (forced value,
+    direction) is a singleton class: the only deviating state has the
+    victim at the complement of the forced value.
+    """
+
+    name = "CFRD"
+
+    def __init__(self, values: Sequence[int] = (0, 1)) -> None:
+        self.values = tuple(values)
+
+    def classes(self, cells: Sequence[str] = ("i", "j")) -> Tuple[BFEClass, ...]:
+        out = []
+        for forced in self.values:
+            for agg, vic in _directions(cells):
+                state = _pair_state(cells, **{vic: 1 - forced})
+                faulty = _pair_state(cells, **{vic: forced})
+                name = f"CFrd<r,{forced}> {agg}->{vic}"
+                bfe = delta_bfe(state, read(agg), faulty, label=name)
+                out.append(BFEClass(name, (bfe,)))
+        return tuple(out)
+
+    def instances(self, size: int) -> Tuple[FaultCase, ...]:
+        from .instances import ReadCouplingInstance
+
+        out = []
+        for forced in self.values:
+            for agg, vic in _pairs(size):
+                out.append(
+                    case(
+                        f"CFrd<r,{forced}> {agg}->{vic}",
+                        lambda agg=agg, vic=vic, forced=forced:
+                        ReadCouplingInstance(agg, vic, forced),
+                    )
+                )
+        return tuple(out)
+
+
+MODEL_REGISTRY["CFRD"] = ReadCouplingFault

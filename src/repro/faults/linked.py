@@ -1,0 +1,114 @@
+"""Linked faults: coupled faults sharing a victim that mask each other.
+
+Two coupling faults are *linked* when they target the same victim cell:
+the second fault's effect can overwrite or cancel the first's before
+any read observes it.  Linked faults are the classic reason simple
+March tests (March C-) are not universal and longer tests (March A/B,
+March LR) exist.
+
+Generation for linked faults needs multi-deviation reasoning beyond the
+paper's single-BFE model (its reference [5] treats them); here we
+provide the *behavioural* side -- injectable instances and case
+enumerations -- so the simulator and the analysis tools can quantify
+the masking phenomenon (see ``tests/faults/test_linked.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..memory.array import MemoryArray, NullFaultInstance
+from .instances import FaultCase, case
+
+
+class LinkedInversionPair(NullFaultInstance):
+    """Two inversion coupling faults `<up, inv>` sharing one victim.
+
+    A rising transition of either aggressor inverts the victim; when a
+    test lets both fire between consecutive victim observations, the
+    two inversions cancel and the pair hides.
+    """
+
+    def __init__(self, aggressor1: int, aggressor2: int, victim: int) -> None:
+        if len({aggressor1, aggressor2, victim}) != 3:
+            raise ValueError("aggressors and victim must be distinct")
+        self.aggressors = (aggressor1, aggressor2)
+        self.victim = victim
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        old = memory.raw[address]
+        memory.raw[address] = value
+        if address in self.aggressors and old == 0 and value == 1:
+            victim_value = memory.raw[self.victim]
+            if victim_value in (0, 1):
+                memory.raw[self.victim] = 1 - int(victim_value)
+
+
+class LinkedIdempotentPair(NullFaultInstance):
+    """CFid `<up, x>` from one aggressor linked with `<up, 1-x>` from
+    another onto the same victim: the later excitation overwrites the
+    earlier fault effect."""
+
+    def __init__(
+        self,
+        aggressor1: int,
+        aggressor2: int,
+        victim: int,
+        first_forces: int = 1,
+    ) -> None:
+        if len({aggressor1, aggressor2, victim}) != 3:
+            raise ValueError("aggressors and victim must be distinct")
+        self.aggressor1 = aggressor1
+        self.aggressor2 = aggressor2
+        self.victim = victim
+        self.first_forces = first_forces
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        old = memory.raw[address]
+        memory.raw[address] = value
+        if old == 0 and value == 1:
+            if address == self.aggressor1:
+                memory.raw[self.victim] = self.first_forces
+            elif address == self.aggressor2:
+                memory.raw[self.victim] = 1 - self.first_forces
+
+
+def linked_inversion_cases(size: int) -> Tuple[FaultCase, ...]:
+    """All `<up,inv>`-pair placements with distinct cells.
+
+    Both aggressor orderings relative to the victim are enumerated --
+    masking depends on whether the March element reaches the victim
+    between the two aggressors.
+    """
+    cases: List[FaultCase] = []
+    for a1 in range(size):
+        for a2 in range(size):
+            for victim in range(size):
+                if len({a1, a2, victim}) != 3 or a1 > a2:
+                    continue
+                cases.append(
+                    case(
+                        f"CFin&CFin ({a1},{a2})->{victim}",
+                        lambda a1=a1, a2=a2, v=victim:
+                        LinkedInversionPair(a1, a2, v),
+                    )
+                )
+    return tuple(cases)
+
+
+def linked_idempotent_cases(size: int) -> Tuple[FaultCase, ...]:
+    """All opposing CFid-pair placements with distinct cells."""
+    cases: List[FaultCase] = []
+    for a1 in range(size):
+        for a2 in range(size):
+            for victim in range(size):
+                if len({a1, a2, victim}) != 3:
+                    continue
+                cases.append(
+                    case(
+                        f"CFid&CFid {a1},{a2}->{victim}",
+                        lambda a1=a1, a2=a2, v=victim:
+                        LinkedIdempotentPair(a1, a2, v),
+                    )
+                )
+    return tuple(cases)

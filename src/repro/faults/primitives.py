@@ -1,0 +1,146 @@
+"""Fault primitive notation ``<S, F>``.
+
+The paper (after van de Goor [9]) denotes a two-cell fault by
+``<S, F>`` where ``S`` is the *sensitizing* condition on the first
+(aggressor) cell and ``F`` the resulting *faulty effect* on the second
+(victim) cell.  Examples: ``<up, 0>`` is the idempotent coupling fault
+"an up transition of the aggressor forces the victim to 0";
+``<updown, inv>`` is the inversion coupling fault.
+
+Single-cell faults use the degenerate form where the sensitizing
+condition and the effect apply to the same cell (e.g. the up transition
+fault is ``<up, 0>`` *on one cell*: a rising write that leaves the cell
+at 0).
+
+This module provides a small parser/formatter for the notation used in
+fault-model labels and by :mod:`repro.faults.library`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Sensitization(enum.Enum):
+    """Aggressor conditions of the ``<S, F>`` notation."""
+
+    ZERO = "0"            # aggressor holds 0
+    ONE = "1"             # aggressor holds 1
+    UP = "up"             # 0 -> 1 write transition
+    DOWN = "down"         # 1 -> 0 write transition
+    ANY_TRANSITION = "updown"  # any write transition
+    READ = "r"            # a read of the aggressor/victim
+    WAIT = "T"            # a retention period elapses
+
+    @property
+    def is_transition(self) -> bool:
+        return self in (
+            Sensitization.UP,
+            Sensitization.DOWN,
+            Sensitization.ANY_TRANSITION,
+        )
+
+    @property
+    def is_state(self) -> bool:
+        return self in (Sensitization.ZERO, Sensitization.ONE)
+
+
+class Effect(enum.Enum):
+    """Victim effects of the ``<S, F>`` notation."""
+
+    FORCE_0 = "0"   # victim forced to 0
+    FORCE_1 = "1"   # victim forced to 1
+    INVERT = "inv"  # victim inverted
+    NO_CHANGE = "stay"  # the sensitizing transition itself fails
+
+    def apply(self, value: object) -> object:
+        """Victim value after the effect fires."""
+        if self is Effect.FORCE_0:
+            return 0
+        if self is Effect.FORCE_1:
+            return 1
+        if self is Effect.INVERT:
+            if value in (0, 1):
+                return 1 - int(value)  # type: ignore[arg-type]
+            return value
+        return value
+
+
+_SENS_ALIASES = {
+    "0": Sensitization.ZERO,
+    "1": Sensitization.ONE,
+    "up": Sensitization.UP,
+    "^": Sensitization.UP,
+    "down": Sensitization.DOWN,
+    "v": Sensitization.DOWN,
+    "updown": Sensitization.ANY_TRANSITION,
+    "^v": Sensitization.ANY_TRANSITION,
+    "r": Sensitization.READ,
+    "t": Sensitization.WAIT,
+}
+
+_EFFECT_ALIASES = {
+    "0": Effect.FORCE_0,
+    "1": Effect.FORCE_1,
+    "inv": Effect.INVERT,
+    "~": Effect.INVERT,
+    "stay": Effect.NO_CHANGE,
+    "=": Effect.NO_CHANGE,
+}
+
+
+@dataclass(frozen=True)
+class FaultPrimitive:
+    """A parsed ``<S, F>`` fault primitive.
+
+    ``two_cell`` distinguishes coupling primitives (aggressor and victim
+    are distinct cells) from single-cell primitives.
+    """
+
+    sensitization: Sensitization
+    effect: Effect
+    two_cell: bool = True
+
+    def __str__(self) -> str:
+        return f"<{self.sensitization.value},{self.effect.value}>"
+
+    @property
+    def sensitizing_writes(self) -> Tuple[Tuple[int, int], ...]:
+        """(initial value, written value) pairs realizing ``S``.
+
+        Only meaningful for transition/state sensitizations; state
+        conditions return an empty tuple (no write required).
+        """
+        if self.sensitization is Sensitization.UP:
+            return ((0, 1),)
+        if self.sensitization is Sensitization.DOWN:
+            return ((1, 0),)
+        if self.sensitization is Sensitization.ANY_TRANSITION:
+            return ((0, 1), (1, 0))
+        return ()
+
+
+def parse_primitive(text: str) -> FaultPrimitive:
+    """Parse ``"<up,0>"``-style notation.
+
+    >>> parse_primitive("<up,0>")
+    FaultPrimitive(sensitization=<Sensitization.UP: 'up'>, effect=<Effect.FORCE_0: '0'>, two_cell=True)
+    """
+    body = text.strip()
+    if body.startswith("<") and body.endswith(">"):
+        body = body[1:-1]
+    parts = [p.strip().lower() for p in body.replace(";", ",").split(",")]
+    if len(parts) != 2:
+        raise ValueError(f"malformed fault primitive {text!r}")
+    sens_text, effect_text = parts
+    try:
+        sens = _SENS_ALIASES[sens_text]
+    except KeyError:
+        raise ValueError(f"unknown sensitization {sens_text!r}") from None
+    try:
+        effect = _EFFECT_ALIASES[effect_text]
+    except KeyError:
+        raise ValueError(f"unknown effect {effect_text!r}") from None
+    return FaultPrimitive(sens, effect)

@@ -1,0 +1,107 @@
+"""Catalog of March tests from the literature.
+
+These are the "equivalent known March tests" column of the paper's
+Table 3 (MATS, MATS+, MATS++, March X, March C-) plus other classics
+used in tests and benchmarks.  Notation follows van de Goor [1].
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .test import MarchTest, parse_march
+
+
+def _make(name: str, notation: str) -> MarchTest:
+    return parse_march(notation, name)
+
+
+#: MATS: the minimal stuck-at test (4n).
+MATS = _make("MATS", "{any(w0); any(r0,w1); any(r1)}")
+
+#: MATS+: stuck-at + address decoder faults (5n).
+MATS_PLUS = _make("MATS+", "{any(w0); up(r0,w1); down(r1,w0)}")
+
+#: MATS++: SAF + TF + ADF (6n).
+MATS_PLUS_PLUS = _make("MATS++", "{any(w0); up(r0,w1); down(r1,w0,r0)}")
+
+#: March X: SAF + TF + ADF + inversion coupling (6n).
+MARCH_X = _make("MarchX", "{any(w0); up(r0,w1); down(r1,w0); any(r0)}")
+
+#: March Y: March X + linked transition faults (8n).
+MARCH_Y = _make("MarchY", "{any(w0); up(r0,w1,r1); down(r1,w0,r0); any(r0)}")
+
+#: March C-: SAF + TF + ADF + unlinked coupling faults (10n).
+MARCH_C_MINUS = _make(
+    "MarchC-",
+    "{any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0)}",
+)
+
+#: March C: the original Marinescu test (11n; contains a redundant read).
+MARCH_C = _make(
+    "MarchC",
+    "{any(w0); up(r0,w1); up(r1,w0); any(r0); down(r0,w1); down(r1,w0); any(r0)}",
+)
+
+#: March A: 3-coupling oriented test (15n).
+MARCH_A = _make(
+    "MarchA",
+    "{any(w0); up(r0,w1,w0,w1); up(r1,w0,w1);"
+    " down(r1,w0,w1,w0); down(r0,w1,w0)}",
+)
+
+#: March B: March A extended for linked faults (17n).
+MARCH_B = _make(
+    "MarchB",
+    "{any(w0); up(r0,w1,r1,w0,r0,w1); up(r1,w0,w1);"
+    " down(r1,w0,w1,w0); down(r0,w1,w0)}",
+)
+
+#: March LR: realistic linked faults (14n).
+MARCH_LR = _make(
+    "MarchLR",
+    "{any(w0); down(r0,w1); up(r1,w0,r0,w1); up(r1,w0);"
+    " up(r0,w1,r1,w0); up(r0)}",
+)
+
+#: MSCAN: the naive zero-one test (4n, SAF only, no AF guarantee).
+MSCAN = _make("MSCAN", "{any(w0); any(r0); any(w1); any(r1)}")
+
+#: March G: March B extended with retention pauses (23n + 2 delays).
+MARCH_G = _make(
+    "MarchG",
+    "{any(w0); up(r0,w1,r1,w0,r0,w1); up(r1,w0,w1);"
+    " down(r1,w0,w1,w0); down(r0,w1,w0);"
+    " Del; any(r0,w1,r1); Del; any(r1,w0,r0)}",
+)
+
+#: All catalog tests by name.
+CATALOG: Dict[str, MarchTest] = {
+    t.name: t
+    for t in (
+        MATS,
+        MATS_PLUS,
+        MATS_PLUS_PLUS,
+        MARCH_X,
+        MARCH_Y,
+        MARCH_C_MINUS,
+        MARCH_C,
+        MARCH_A,
+        MARCH_B,
+        MARCH_LR,
+        MARCH_G,
+        MSCAN,
+    )
+}
+
+
+def by_name(name: str) -> MarchTest:
+    """Look up a known test, case-insensitively.
+
+    >>> by_name("mats+").complexity
+    5
+    """
+    for key, value in CATALOG.items():
+        if key.lower() == name.strip().lower():
+            return value
+    raise KeyError(f"unknown march test {name!r}; known: {sorted(CATALOG)}")

@@ -1,0 +1,40 @@
+"""Memory model substrate: operations, states, Mealy machines, arrays."""
+
+from .operations import (
+    Operation,
+    OpKind,
+    SYMBOLIC_CELLS,
+    alphabet,
+    cell_order,
+    format_sequence,
+    parse_operation,
+    parse_sequence,
+    read,
+    wait,
+    write,
+)
+from .state import DASH, MemoryState, all_states
+from .mealy import MealyMachine, good_machine, machines_equal
+from .array import MemoryArray, NullFaultInstance
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "SYMBOLIC_CELLS",
+    "alphabet",
+    "cell_order",
+    "format_sequence",
+    "parse_operation",
+    "parse_sequence",
+    "read",
+    "wait",
+    "write",
+    "DASH",
+    "MemoryState",
+    "all_states",
+    "MealyMachine",
+    "good_machine",
+    "machines_equal",
+    "MemoryArray",
+    "NullFaultInstance",
+]

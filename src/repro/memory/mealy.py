@@ -1,0 +1,194 @@
+"""Deterministic Mealy automata modelling good and faulty memories.
+
+The paper models an n one-bit-cell memory as a Mealy machine
+``M = (Q, X, Y, delta, lambda)`` (f.2.1) and a faulty memory as a
+machine ``Mi`` whose transition function ``delta_i`` or output function
+``lambda_i`` deviates from the fault-free machine ``M0`` (f.2.2).
+
+:func:`good_machine` builds ``M0`` for ``k`` cells -- for ``k == 2``
+this is exactly the machine of Figure 1.  Faulty machines are built by
+applying :class:`~repro.faults.bfe.BasicFaultEffect` deviations, see
+:mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from .operations import Operation, alphabet
+from .state import DASH, MemoryState, all_states
+
+#: Key type of the transition/output tables.
+TransitionKey = Tuple[MemoryState, Operation]
+
+
+def _machine_input(op: Operation) -> Operation:
+    """Canonicalize an operation to a machine input symbol.
+
+    Read-and-verify operations are test-pattern artifacts; the machine
+    input alphabet only contains plain reads (the verify value lives in
+    the TP, not in X).
+    """
+    if op.is_verifying_read:
+        return op.plain_read()
+    return op
+
+
+@dataclass
+class MealyMachine:
+    """A deterministic Mealy automaton over memory states.
+
+    Attributes
+    ----------
+    cells:
+        Symbolic cells of the machine, in address order.
+    delta:
+        Transition table mapping ``(state, input)`` to the next state.
+    lam:
+        Output table mapping ``(state, input)`` to an output in
+        ``{0, 1, '-'}`` (writes and waits output ``'-'``).
+    name:
+        Diagnostic label (``"M0"`` for the good machine).
+    """
+
+    cells: Tuple[str, ...]
+    delta: Dict[TransitionKey, MemoryState] = field(default_factory=dict)
+    lam: Dict[TransitionKey, object] = field(default_factory=dict)
+    name: str = "M"
+
+    # -- evaluation ----------------------------------------------------------
+
+    def step(self, state: MemoryState, op: Operation) -> Tuple[MemoryState, object]:
+        """Apply one input; return ``(next_state, output)``."""
+        key = (state, _machine_input(op))
+        try:
+            return self.delta[key], self.lam[key]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no transition from {state} on {op}"
+            ) from None
+
+    def run(
+        self, state: MemoryState, ops: Iterable[Operation]
+    ) -> Tuple[MemoryState, Tuple[object, ...]]:
+        """Run an operation sequence; return final state and all outputs."""
+        outputs = []
+        for op in ops:
+            state, out = self.step(state, op)
+            outputs.append(out)
+        return state, tuple(outputs)
+
+    @property
+    def states(self) -> Tuple[MemoryState, ...]:
+        seen = []
+        for state, _ in self.delta:
+            if state not in seen:
+                seen.append(state)
+        return tuple(seen)
+
+    @property
+    def inputs(self) -> Tuple[Operation, ...]:
+        seen = []
+        for _, op in self.delta:
+            if op not in seen:
+                seen.append(op)
+        return tuple(seen)
+
+    # -- derivation ------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "MealyMachine":
+        return MealyMachine(
+            self.cells, dict(self.delta), dict(self.lam), name or self.name
+        )
+
+    def with_transition(
+        self, state: MemoryState, op: Operation, target: MemoryState
+    ) -> "MealyMachine":
+        """Return a copy whose ``delta(state, op)`` is redirected."""
+        op = _machine_input(op)
+        key = (state, op)
+        if key not in self.delta:
+            raise KeyError(f"no base transition {state} --{op}-->")
+        clone = self.copy()
+        clone.delta[key] = target
+        return clone
+
+    def with_output(
+        self, state: MemoryState, op: Operation, output: object
+    ) -> "MealyMachine":
+        """Return a copy whose ``lambda(state, op)`` is overridden."""
+        op = _machine_input(op)
+        key = (state, op)
+        if key not in self.lam:
+            raise KeyError(f"no base output for {state} --{op}-->")
+        clone = self.copy()
+        clone.lam[key] = output
+        return clone
+
+    def deviations_from(
+        self, other: "MealyMachine"
+    ) -> Tuple[Tuple[str, TransitionKey], ...]:
+        """List the (kind, key) pairs where this machine differs from *other*.
+
+        ``kind`` is ``"delta"`` or ``"lambda"``.  Used by tests to verify
+        that a BFE-derived machine differs from M0 in exactly one entry
+        (the definition of a BFE, paper Section 3).
+        """
+        diffs = []
+        for key, target in self.delta.items():
+            if other.delta.get(key) != target:
+                diffs.append(("delta", key))
+        for key, out in self.lam.items():
+            if other.lam.get(key) != out:
+                diffs.append(("lambda", key))
+        return tuple(diffs)
+
+
+def good_machine(cells: Iterable[str] = ("i", "j"), name: str = "M0") -> MealyMachine:
+    """Build the fault-free machine ``M0`` over the given cells.
+
+    For two cells this is the machine of Figure 1 of the paper: states
+    {00, 01, 10, 11} plus the non-initialized state, inputs
+    ``{r_i, r_j, w0_*, w1_*, T}``:
+
+    * ``wd_c`` moves to the state where cell *c* holds ``d``, output '-';
+    * ``r_c`` is a self-loop and outputs the value of cell *c*;
+    * ``T`` is a self-loop with output '-'.
+
+    The non-initialized states (any state containing '-') are included so
+    a simulation may start from power-up: writes define cells one by one,
+    reads of a '-' cell output '-'.
+    """
+    machine = MealyMachine(tuple(cells), name=name)
+    ops = alphabet(machine.cells)
+
+    def add(state: MemoryState) -> None:
+        for op in ops:
+            key = (state, op)
+            if op.is_write:
+                machine.delta[key] = state.set(op.cell, op.value)
+                machine.lam[key] = DASH
+            elif op.is_read:
+                machine.delta[key] = state
+                machine.lam[key] = state[op.cell]
+            else:  # wait
+                machine.delta[key] = state
+                machine.lam[key] = DASH
+
+    for state in all_states(machine.cells):
+        add(state)
+    # Non-initialized states: enumerate every state containing at least
+    # one dash (for two cells: --, -0, -1, 0-, 1-).
+    from itertools import product as _product
+
+    for combo in _product((0, 1, DASH), repeat=len(machine.cells)):
+        if DASH not in combo:
+            continue
+        add(MemoryState(machine.cells, combo))
+    return machine
+
+
+def machines_equal(a: MealyMachine, b: MealyMachine) -> bool:
+    """Structural equality of two machines (same tables)."""
+    return a.cells == b.cells and a.delta == b.delta and a.lam == b.lam

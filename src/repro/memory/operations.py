@@ -1,0 +1,212 @@
+"""Memory operation alphabet.
+
+This module defines the input alphabet ``X`` of the memory model used
+throughout the library (paper, f.2.1)::
+
+    X = { r_i, w0_i, w1_i | 0 <= i <= n-1 } + { T }
+
+* ``r_i``  -- read cell *i* (optionally *read-and-verify*: the expected
+  value travels with the operation, paper f.2.3);
+* ``wd_i`` -- write value ``d`` in {0, 1} to cell *i*;
+* ``T``    -- wait for a defined period of time (used by data-retention
+  faults).
+
+Cells are referred to by *symbolic* indices while generating tests for
+the k-cell fault machine (conventionally ``i`` and ``j`` with
+``address(i) < address(j)``) and by integer addresses when a test is
+executed on a simulated n-cell memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+
+class OpKind(enum.Enum):
+    """The three kinds of memory operations of the model."""
+
+    READ = "r"
+    WRITE = "w"
+    WAIT = "T"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Symbolic cell names accepted for k-cell machines, ordered by address.
+SYMBOLIC_CELLS: Tuple[str, ...] = ("i", "j", "k", "l")
+
+
+def cell_order(cell: str) -> int:
+    """Return the address rank of a symbolic cell name.
+
+    The paper fixes the convention ``address(i) < address(j)``; we extend
+    it alphabetically for machines with more than two cells.
+
+    >>> cell_order("i"), cell_order("j")
+    (0, 1)
+    """
+    try:
+        return SYMBOLIC_CELLS.index(cell)
+    except ValueError:
+        raise ValueError(
+            f"unknown symbolic cell {cell!r}; expected one of {SYMBOLIC_CELLS}"
+        ) from None
+
+
+@dataclass(frozen=True, order=True)
+class Operation:
+    """A single memory operation.
+
+    Attributes
+    ----------
+    kind:
+        ``OpKind.READ``, ``OpKind.WRITE`` or ``OpKind.WAIT``.
+    cell:
+        Symbolic cell name (``"i"``, ``"j"``, ...) the operation acts on.
+        ``None`` for ``WAIT`` which is a global operation.
+    value:
+        For writes: the value written (0 or 1).  For reads: the expected
+        value of a *read-and-verify* operation, or ``None`` for a plain
+        read.  Always ``None`` for ``WAIT``.
+    """
+
+    kind: OpKind
+    cell: Optional[str] = None
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.WAIT:
+            if self.cell is not None or self.value is not None:
+                raise ValueError("WAIT takes neither a cell nor a value")
+            return
+        if self.cell is None:
+            raise ValueError(f"{self.kind} requires a target cell")
+        if self.kind is OpKind.WRITE:
+            if self.value not in (0, 1):
+                raise ValueError("WRITE requires a value in {0, 1}")
+        elif self.value not in (None, 0, 1):
+            raise ValueError("READ verify value must be None, 0 or 1")
+
+    # -- classification helpers ------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OpKind.WRITE
+
+    @property
+    def is_wait(self) -> bool:
+        return self.kind is OpKind.WAIT
+
+    @property
+    def is_verifying_read(self) -> bool:
+        """True for a read-and-verify ``rd_i`` (paper, f.2.3)."""
+        return self.is_read and self.value is not None
+
+    # -- derived operations ----------------------------------------------
+
+    def on_cell(self, cell: str) -> "Operation":
+        """Return the same operation retargeted to another cell."""
+        if self.is_wait:
+            return self
+        return Operation(self.kind, cell, self.value)
+
+    def plain_read(self) -> "Operation":
+        """Drop the verify value from a read operation."""
+        if not self.is_read:
+            raise ValueError("plain_read() only applies to reads")
+        return Operation(OpKind.READ, self.cell, None)
+
+    # -- text form ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_wait:
+            return "T"
+        if self.is_write:
+            return f"w{self.value}{self.cell}"
+        if self.value is None:
+            return f"r{self.cell}"
+        return f"r{self.value}{self.cell}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Operation({self})"
+
+
+# -- constructors ----------------------------------------------------------
+
+
+def read(cell: str, expect: Optional[int] = None) -> Operation:
+    """Build a read (``expect=None``) or read-and-verify operation."""
+    return Operation(OpKind.READ, cell, expect)
+
+
+def write(cell: str, value: int) -> Operation:
+    """Build a write operation ``wd_cell``."""
+    return Operation(OpKind.WRITE, cell, value)
+
+
+def wait() -> Operation:
+    """Build the wait operation ``T``."""
+    return Operation(OpKind.WAIT)
+
+
+def parse_operation(text: str) -> Operation:
+    """Parse the textual form produced by :meth:`Operation.__str__`.
+
+    >>> parse_operation("w1i")
+    Operation(w1i)
+    >>> parse_operation("r0j")
+    Operation(r0j)
+    >>> parse_operation("rj")
+    Operation(rj)
+    >>> parse_operation("T")
+    Operation(T)
+    """
+    text = text.strip()
+    if text == "T":
+        return wait()
+    if not text:
+        raise ValueError("empty operation string")
+    head, rest = text[0], text[1:]
+    if head == "w":
+        if len(rest) < 2 or rest[0] not in "01":
+            raise ValueError(f"malformed write operation {text!r}")
+        return write(rest[1:], int(rest[0]))
+    if head == "r":
+        if rest and rest[0] in "01":
+            return read(rest[1:], int(rest[0]))
+        return read(rest)
+    raise ValueError(f"malformed operation {text!r}")
+
+
+def parse_sequence(text: str, separator: str = ",") -> Tuple[Operation, ...]:
+    """Parse a separated list of operations (a GTS in text form)."""
+    parts = [p for p in (s.strip() for s in text.split(separator)) if p]
+    return tuple(parse_operation(p) for p in parts)
+
+
+def format_sequence(ops: Iterable[Operation], separator: str = ", ") -> str:
+    """Format a sequence of operations as text."""
+    return separator.join(str(op) for op in ops)
+
+
+def alphabet(cells: Iterable[str], include_wait: bool = True) -> Tuple[Operation, ...]:
+    """The full input alphabet X for the given cells (paper, f.2.1).
+
+    Reads are returned *without* verify values -- the alphabet models
+    machine inputs, and verification is a property of test patterns.
+    """
+    ops = []
+    for cell in cells:
+        ops.append(read(cell))
+        ops.append(write(cell, 0))
+        ops.append(write(cell, 1))
+    if include_wait:
+        ops.append(wait())
+    return tuple(ops)

@@ -1,0 +1,54 @@
+"""Dual-port memory extension (the paper's stated future work)."""
+
+from .array import (
+    CycleResult,
+    DualPortFaultInstance,
+    DualPortMemoryArray,
+    PortOp,
+    PortOpKind,
+    port_read,
+    port_write,
+)
+from .faults import (
+    WeakPortCoupling,
+    WeakReadReadDisturb,
+    WeakWriteLostOnRead,
+    weak_fault_cases,
+)
+from .generate import Search2PStats, generate_march_2p
+from .march2p import (
+    MARCH_2PF,
+    CompanionRead,
+    CycleOp,
+    March2PElement,
+    March2PTest,
+    covers_all_weak_faults,
+    detects_weak_case,
+    parse_march_2p,
+    run_march_2p,
+)
+
+__all__ = [
+    "Search2PStats",
+    "generate_march_2p",
+    "CycleResult",
+    "DualPortFaultInstance",
+    "DualPortMemoryArray",
+    "PortOp",
+    "PortOpKind",
+    "port_read",
+    "port_write",
+    "WeakPortCoupling",
+    "WeakReadReadDisturb",
+    "WeakWriteLostOnRead",
+    "weak_fault_cases",
+    "MARCH_2PF",
+    "CompanionRead",
+    "CycleOp",
+    "March2PElement",
+    "March2PTest",
+    "covers_all_weak_faults",
+    "detects_weak_case",
+    "parse_march_2p",
+    "run_march_2p",
+]

@@ -1,0 +1,143 @@
+"""Dual-port memory substrate.
+
+The paper's stated future work extends the model to multi-port
+memories, whose characteristic faults only appear under *simultaneous*
+accesses from different ports.  This module provides the substrate: an
+n-cell memory accepting pairs of operations applied in the same cycle,
+with the conventional fault-free conflict semantics:
+
+* read + read of the same cell: both return the value;
+* read + write of the same cell: indeterminate read (``'-'``), the
+  write lands -- well-formed tests avoid this;
+* write + write of the same cell: the cell becomes indeterminate when
+  the values differ.
+
+Fault instances hook the *cycle* (both port operations together), so
+inter-port (weak) faults can react to genuine simultaneity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..memory.state import DASH
+
+
+class PortOpKind(enum.Enum):
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass(frozen=True)
+class PortOp:
+    """One port's operation in a cycle."""
+
+    kind: PortOpKind
+    address: int
+    value: Optional[int] = None  # written value / read-verify value
+
+    def __post_init__(self) -> None:
+        if self.kind is PortOpKind.WRITE and self.value not in (0, 1):
+            raise ValueError("port write needs a binary value")
+
+    def __str__(self) -> str:
+        value = "" if self.value is None else str(self.value)
+        return f"{self.kind.value}{value}@{self.address}"
+
+
+def port_read(address: int, expect: Optional[int] = None) -> PortOp:
+    return PortOp(PortOpKind.READ, address, expect)
+
+
+def port_write(address: int, value: int) -> PortOp:
+    return PortOp(PortOpKind.WRITE, address, value)
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Observed read values of one cycle (None for non-reads)."""
+
+    port_a: Optional[object]
+    port_b: Optional[object]
+
+
+class DualPortFaultInstance:
+    """Fault-free cycle semantics; weak-fault instances override."""
+
+    def on_cycle(
+        self,
+        memory: "DualPortMemoryArray",
+        op_a: Optional[PortOp],
+        op_b: Optional[PortOp],
+    ) -> CycleResult:
+        return memory.apply_fault_free(op_a, op_b)
+
+
+@dataclass
+class DualPortMemoryArray:
+    """n one-bit cells accessed through two ports."""
+
+    size: int
+    fault: DualPortFaultInstance = field(
+        default_factory=DualPortFaultInstance
+    )
+    raw: List[object] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("memory size must be positive")
+        if not self.raw:
+            self.raw = [DASH] * self.size
+        elif len(self.raw) != self.size:
+            raise ValueError("raw contents must match the declared size")
+
+    # -- fault-free semantics ------------------------------------------------
+
+    def apply_fault_free(
+        self, op_a: Optional[PortOp], op_b: Optional[PortOp]
+    ) -> CycleResult:
+        for op in (op_a, op_b):
+            if op is not None and not 0 <= op.address < self.size:
+                raise IndexError(f"address {op.address} out of range")
+
+        write_a = op_a if op_a and op_a.kind is PortOpKind.WRITE else None
+        write_b = op_b if op_b and op_b.kind is PortOpKind.WRITE else None
+
+        # Reads sample the pre-cycle value unless colliding with the
+        # other port's write to the same cell (indeterminate).
+        def read_value(op: Optional[PortOp], other_write: Optional[PortOp]):
+            if op is None or op.kind is not PortOpKind.READ:
+                return None
+            if other_write is not None and other_write.address == op.address:
+                return DASH
+            return self.raw[op.address]
+
+        result = CycleResult(
+            read_value(op_a, write_b), read_value(op_b, write_a)
+        )
+
+        if write_a and write_b and write_a.address == write_b.address:
+            self.raw[write_a.address] = (
+                write_a.value if write_a.value == write_b.value else DASH
+            )
+        else:
+            for write in (write_a, write_b):
+                if write is not None:
+                    self.raw[write.address] = write.value
+        return result
+
+    # -- public cycle API --------------------------------------------------------
+
+    def cycle(
+        self, op_a: Optional[PortOp], op_b: Optional[PortOp]
+    ) -> CycleResult:
+        """Apply one dual-port cycle through the fault instance."""
+        return self.fault.on_cycle(self, op_a, op_b)
+
+    def snapshot(self) -> Tuple[object, ...]:
+        return tuple(self.raw)
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,126 @@
+"""Two-port (inter-port) weak fault models.
+
+Single-port faults are *strong*: one port's operation suffices.  A
+dual-port memory adds *weak* faults that only manifest when both ports
+act in the same cycle (Hamdioui & van de Goor's 2PF classification):
+
+* :class:`WeakReadReadDisturb` (wRDF&) -- two simultaneous reads of
+  the same cell flip it (and corrupt the returned values); each read
+  alone is harmless, so no single-port March test can expose it;
+* :class:`WeakWriteLostOnRead` (wTF&) -- a write completes incorrectly
+  when the other port reads the *same* cell in the same cycle;
+* :class:`WeakPortCoupling` (wCFds&) -- a write on one port disturbs a
+  simultaneously *read* other cell (bit-line crosstalk): the victim's
+  returned value is inverted while the stored value stays intact.
+
+Every model also behaves perfectly under single-port access -- the
+defining property of weak faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..faults.instances import FaultCase, case
+from .array import CycleResult, DualPortFaultInstance, PortOp, PortOpKind
+
+
+def _is_read(op: Optional[PortOp], address: int) -> bool:
+    return op is not None and op.kind is PortOpKind.READ and op.address == address
+
+
+def _is_write(op: Optional[PortOp], address: int) -> bool:
+    return (
+        op is not None and op.kind is PortOpKind.WRITE and op.address == address
+    )
+
+
+class WeakReadReadDisturb(DualPortFaultInstance):
+    """wRDF&: simultaneous reads of ``cell`` flip it and return the
+    flipped value."""
+
+    def __init__(self, cell: int) -> None:
+        self.cell = cell
+
+    def on_cycle(self, memory, op_a, op_b) -> CycleResult:
+        if _is_read(op_a, self.cell) and _is_read(op_b, self.cell):
+            old = memory.raw[self.cell]
+            if old in (0, 1):
+                flipped = 1 - int(old)
+                memory.raw[self.cell] = flipped
+                return CycleResult(flipped, flipped)
+        return memory.apply_fault_free(op_a, op_b)
+
+
+class WeakWriteLostOnRead(DualPortFaultInstance):
+    """wTF&: a write to ``cell`` is lost when the other port reads the
+    same cell in the same cycle (the read still returns the old value,
+    which is also what a fault-free memory may legally return)."""
+
+    def __init__(self, cell: int) -> None:
+        self.cell = cell
+
+    def on_cycle(self, memory, op_a, op_b) -> CycleResult:
+        pairs = ((op_a, op_b), (op_b, op_a))
+        for write, read in pairs:
+            if _is_write(write, self.cell) and _is_read(read, self.cell):
+                old = memory.raw[self.cell]
+                # The write is lost; the colliding read returns the old
+                # value (deterministic here, '-' in the good machine).
+                if write is op_a:
+                    return CycleResult(None, old)
+                return CycleResult(old, None)
+        return memory.apply_fault_free(op_a, op_b)
+
+
+class WeakPortCoupling(DualPortFaultInstance):
+    """wCFds&: while one port writes ``aggressor``, a simultaneous read
+    of ``victim`` on the other port returns the inverted value."""
+
+    def __init__(self, aggressor: int, victim: int) -> None:
+        if aggressor == victim:
+            raise ValueError("aggressor and victim must differ")
+        self.aggressor = aggressor
+        self.victim = victim
+
+    def on_cycle(self, memory, op_a, op_b) -> CycleResult:
+        result = memory.apply_fault_free(op_a, op_b)
+        values = [result.port_a, result.port_b]
+        ops = (op_a, op_b)
+        for index, op in enumerate(ops):
+            other = ops[1 - index]
+            if (
+                _is_read(op, self.victim)
+                and other is not None
+                and _is_write(other, self.aggressor)
+                and values[index] in (0, 1)
+            ):
+                values[index] = 1 - int(values[index])
+        return CycleResult(values[0], values[1])
+
+
+def weak_fault_cases(size: int) -> Tuple[FaultCase, ...]:
+    """All weak fault cases for an n-cell dual-port memory.
+
+    Port-coupling cases are placed on *adjacent* cell pairs only:
+    bit-line crosstalk is a topological phenomenon, and the two-port
+    March idiom observes it with fixed-offset companion reads.
+    """
+    cases = []
+    for cell in range(size):
+        cases.append(
+            case(f"wRR@{cell}", lambda cell=cell: WeakReadReadDisturb(cell))
+        )
+        cases.append(
+            case(f"wWL@{cell}", lambda cell=cell: WeakWriteLostOnRead(cell))
+        )
+    for aggressor in range(size):
+        for victim in (aggressor - 1, aggressor + 1):
+            if 0 <= victim < size:
+                cases.append(
+                    case(
+                        f"wPC {aggressor}->{victim}",
+                        lambda a=aggressor, v=victim: WeakPortCoupling(a, v),
+                    )
+                )
+    return tuple(cases)

@@ -1,0 +1,154 @@
+"""Automatic generation of two-port March tests.
+
+The single-port pipeline rests on the two-cell Mealy model; weak
+two-port faults need *cycle-level* simultaneity that model does not
+express.  Following the paper's own fallback philosophy (bounded search
+validated by fault simulation), this generator enumerates the two-port
+March grammar in increasing cycle count and returns the first test
+whose differential simulation detects every target weak fault case --
+i.e. a minimal test within the grammar.
+
+Grammar: an initializing write element, then elements whose port-A ops
+follow the classic March shape, where each op may carry a companion
+read (same cell or +-1 neighbour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..march.element import AddressOrder, MarchOp
+from .faults import weak_fault_cases
+from .march2p import (
+    CompanionRead,
+    CycleOp,
+    March2PElement,
+    March2PTest,
+    detects_weak_case,
+)
+
+#: Companion options tried per op (None = port B idle).
+COMPANIONS: Tuple[Optional[CompanionRead], ...] = (
+    None,
+    CompanionRead(0),
+    CompanionRead(-1),
+    CompanionRead(+1),
+)
+
+
+@dataclass
+class Search2PStats:
+    candidates_tested: int = 0
+    complexity_reached: int = 0
+
+
+def _port_a_bodies(background: int, max_ops: int):
+    """Port-A op sequences: a read of the background, then writes
+    (flip or repeat) each optionally re-read."""
+
+    def extend(ops, value, budget):
+        yield ops, value
+        if budget == 0:
+            return
+        last = ops[-1]
+        for new_value in (1 - value, value):
+            if last.is_write and last.value == new_value:
+                continue
+            yield from extend(
+                ops + (MarchOp("w", new_value),), new_value, budget - 1
+            )
+        if last.is_write or (len(ops) < 2 or not ops[-2].is_read):
+            yield from extend(
+                ops + (MarchOp("r", value),), value, budget - 1
+            )
+
+    first = (MarchOp("r", background),)
+    yield from extend(first, background, max_ops - 1)
+    # Write-only bodies (needed for pure companion-read elements).
+    for value in (1 - background, background):
+        yield (MarchOp("w", value),), value
+
+
+def _annotate(ops: Tuple[MarchOp, ...]) -> Iterator[Tuple[CycleOp, ...]]:
+    """All companion annotations of a port-A body.
+
+    Offset companions are only paired with *writes*: every weak fault
+    model is either excited by same-cell simultaneity (wRDF&, wTF&) or
+    by a write with a neighbour read (wCFds&), so a port-A read never
+    benefits from an offset companion.
+    """
+    if not ops:
+        yield ()
+        return
+    head, tail = ops[0], ops[1:]
+    options = COMPANIONS if head.is_write else COMPANIONS[:2]
+    for rest in _annotate(tail):
+        for companion in options:
+            yield (CycleOp(head, companion),) + rest
+
+
+def _tests(
+    max_complexity: int, max_elements: int, stats: Search2PStats
+) -> Iterator[March2PTest]:
+    def grow(elements, background, budget):
+        if elements:
+            yield March2PTest(elements)
+        if budget == 0 or len(elements) >= max_elements:
+            return
+        for body, new_background in _port_a_bodies(background, budget):
+            for annotated in _annotate(body):
+                for order in (AddressOrder.UP, AddressOrder.DOWN):
+                    element = March2PElement(order, annotated)
+                    yield from grow(
+                        elements + (element,),
+                        new_background,
+                        budget - len(body),
+                    )
+
+    for initial_value in (0, 1):
+        initial = March2PElement(
+            AddressOrder.UP, (CycleOp(MarchOp("w", initial_value)),)
+        )
+        yield from grow((initial,), initial_value, max_complexity - 1)
+
+
+def generate_march_2p(
+    size: int = 3,
+    max_complexity: int = 7,
+    max_elements: int = 5,
+    budget: Optional[int] = 200000,
+    stats: Optional[Search2PStats] = None,
+    cases: Optional[Sequence] = None,
+) -> Optional[March2PTest]:
+    """Minimal two-port March test covering all weak fault cases.
+
+    Iterative deepening on cycle count; ``None`` when the bound or the
+    candidate budget is exhausted first.
+    """
+    stats = stats if stats is not None else Search2PStats()
+    targets = list(cases) if cases is not None else list(weak_fault_cases(size))
+    # Fail-fast ordering, updated as cases reject candidates.
+    for bound in range(2, max_complexity + 1):
+        stats.complexity_reached = bound
+        seen = set()
+        for candidate in _tests(bound, max_elements, stats):
+            if candidate.complexity != bound:
+                continue
+            key = str(candidate)
+            if key in seen:
+                continue
+            seen.add(key)
+            stats.candidates_tested += 1
+            if budget is not None and stats.candidates_tested > budget:
+                return None
+            ok = True
+            for position, fault_case in enumerate(targets):
+                if not detects_weak_case(candidate, fault_case, size):
+                    if position:
+                        targets.insert(0, targets.pop(position))
+                    ok = False
+                    break
+            if ok:
+                return candidate
+    return None

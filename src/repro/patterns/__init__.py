@@ -1,0 +1,6 @@
+"""Test patterns and the Test Pattern Graph."""
+
+from .test_pattern import TestPattern, patterns_for_bfe
+from .tpg import TestPatternGraph, TPGNode
+
+__all__ = ["TestPattern", "patterns_for_bfe", "TestPatternGraph", "TPGNode"]

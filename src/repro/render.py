@@ -1,0 +1,100 @@
+"""Markdown and LaTeX rendering of tests, reports and tables.
+
+For papers and lab reports: March tests in the conventional arrow
+notation, generation reports as table rows, and detection matrices as
+Markdown/LaTeX tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .core.report import GenerationReport
+from .march.element import AddressOrder, DelayElement, MarchElement
+from .march.test import MarchTest
+
+_LATEX_ORDER = {
+    AddressOrder.UP: r"\Uparrow",
+    AddressOrder.DOWN: r"\Downarrow",
+    AddressOrder.ANY: r"\Updownarrow",
+}
+
+
+def march_to_latex(test: MarchTest) -> str:
+    """A March test in LaTeX math notation.
+
+    >>> from repro.march.catalog import MATS
+    >>> march_to_latex(MATS)
+    '\\\\{\\\\Updownarrow(w0);\\\\ \\\\Updownarrow(r0,w1);\\\\ \\\\Updownarrow(r1)\\\\}'
+    """
+    parts = []
+    for element in test.elements:
+        if isinstance(element, DelayElement):
+            parts.append(r"\mathrm{Del}")
+            continue
+        assert isinstance(element, MarchElement)
+        ops = ",".join(str(op) for op in element.ops)
+        parts.append(f"{_LATEX_ORDER[element.order]}({ops})")
+    return r"\{" + r";\ ".join(parts) + r"\}"
+
+
+def report_to_markdown_row(report: GenerationReport) -> str:
+    """One Markdown table row in the shape of the paper's Table 3."""
+    known = report.equivalent_known or "—"
+    return (
+        f"| {'+'.join(report.fault_names)} | `{report.test}` |"
+        f" {report.complexity_label} | {report.elapsed_seconds:.2f}s |"
+        f" {known} |"
+    )
+
+
+def table3_markdown(reports: Sequence[GenerationReport]) -> str:
+    """A full Markdown reproduction table."""
+    lines = [
+        "| Fault list | Generated March test | Complexity | CPU | Known |",
+        "|---|---|---|---|---|",
+    ]
+    lines.extend(report_to_markdown_row(r) for r in reports)
+    return "\n".join(lines)
+
+
+def detection_matrix_markdown(
+    matrix: Mapping[str, Mapping[str, bool]]
+) -> str:
+    """Render a test x fault-case detection matrix as Markdown.
+
+    Input shape matches :func:`repro.simulator.detection_matrix`.
+    """
+    if not matrix:
+        return ""
+    case_names = sorted(next(iter(matrix.values())))
+    lines = [
+        "| test | " + " | ".join(case_names) + " |",
+        "|---|" + "---|" * len(case_names),
+    ]
+    for test_name in sorted(matrix):
+        row = matrix[test_name]
+        cells = " | ".join("x" if row[c] else " " for c in case_names)
+        lines.append(f"| {test_name} | {cells} |")
+    return "\n".join(lines)
+
+
+def coverage_summary_markdown(
+    coverage: Mapping[str, Mapping[str, float]]
+) -> str:
+    """Model-level coverage ratios (test -> model -> ratio) as Markdown."""
+    if not coverage:
+        return ""
+    models = sorted(next(iter(coverage.values())))
+    lines = [
+        "| test | " + " | ".join(models) + " |",
+        "|---|" + "---|" * len(models),
+    ]
+    for test_name in sorted(coverage):
+        row = coverage[test_name]
+        cells = " | ".join(
+            "full" if row[m] >= 1.0 else f"{row[m] * 100:.0f}%"
+            for m in models
+        )
+        lines.append(f"| {test_name} | {cells} |")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Global Test Sequences and the rewrite-rule engine."""
+
+from .gts import Color, GlobalTestSequence, GTSSymbol, Role, build_gts, gts_text
+from .rewrite import minimize, reorder, reorder_and_minimize
+
+__all__ = [
+    "Color",
+    "GlobalTestSequence",
+    "GTSSymbol",
+    "Role",
+    "build_gts",
+    "gts_text",
+    "minimize",
+    "reorder",
+    "reorder_and_minimize",
+]

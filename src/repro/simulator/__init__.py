@@ -1,0 +1,47 @@
+"""Memory fault simulator and coverage analysis (paper, Section 6)."""
+
+from .engine import (
+    MarchRun,
+    ReadRecord,
+    count_verifying_reads,
+    good_run,
+    is_well_formed,
+    run_march,
+)
+from .faultsim import (
+    DEFAULT_SIZE,
+    SimulationReport,
+    detection_matrix,
+    detects_case,
+    simulate,
+    simulate_fault_list,
+)
+from .coverage import (
+    CoverageMatrix,
+    ElementaryBlock,
+    coverage_matrix,
+    elementary_blocks,
+)
+from .setcover import greedy_cover, is_exact_cover_needed, minimum_cover
+
+__all__ = [
+    "MarchRun",
+    "ReadRecord",
+    "count_verifying_reads",
+    "good_run",
+    "is_well_formed",
+    "run_march",
+    "DEFAULT_SIZE",
+    "SimulationReport",
+    "detection_matrix",
+    "detects_case",
+    "simulate",
+    "simulate_fault_list",
+    "CoverageMatrix",
+    "ElementaryBlock",
+    "coverage_matrix",
+    "elementary_blocks",
+    "greedy_cover",
+    "is_exact_cover_needed",
+    "minimum_cover",
+]

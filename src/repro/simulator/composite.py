@@ -1,0 +1,71 @@
+"""Composite fault injection: several defects in one memory.
+
+Production dies rarely carry exactly one defect.  A
+:class:`CompositeFaultInstance` chains several single-fault instances:
+each write/read/wait flows through every component in order, letting
+defects interact (including masking, as with linked faults).
+
+The chaining contract: component k's hooks see the memory as modified
+by components 0..k-1 for the *same* operation.  For writes, each
+component receives the original written value; for reads, the value
+produced by the previous component is what the next one would sense.
+This is a behavioural approximation adequate for escape-rate studies
+(see ``examples/test_escape_study.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..memory.array import MemoryArray, NullFaultInstance
+
+
+class CompositeFaultInstance(NullFaultInstance):
+    """Chain several fault instances over one memory.
+
+    After every operation each component's :meth:`settle` hook runs,
+    letting *persistent-state* defects (stuck cells, state couplings)
+    re-assert themselves over later components' base writes.
+    """
+
+    def __init__(self, components: Sequence[object]) -> None:
+        if not components:
+            raise ValueError("composite needs at least one component")
+        self.components = list(components)
+
+    def _settle(self, memory: MemoryArray) -> None:
+        for component in self.components:
+            settle = getattr(component, "settle", None)
+            if settle is not None:
+                settle(memory)
+
+    def on_write(self, memory: MemoryArray, address: int, value: int) -> None:
+        for component in self.components:
+            component.on_write(memory, address, value)
+        self._settle(memory)
+
+    def on_read(self, memory: MemoryArray, address: int) -> object:
+        # Each component may disturb state; the *returned* value is the
+        # last component's view (senses whatever earlier defects did to
+        # the cell), with any definite corruption along the chain kept.
+        value: object = memory.raw[address]
+        for component in self.components:
+            value = component.on_read(memory, address)
+        self._settle(memory)
+        return value
+
+    def on_wait(self, memory: MemoryArray) -> None:
+        for component in self.components:
+            component.on_wait(memory)
+        self._settle(memory)
+
+
+def compose(*components: object) -> CompositeFaultInstance:
+    """Convenience constructor.
+
+    >>> from repro.faults.instances import StuckAtInstance
+    >>> instance = compose(StuckAtInstance(0, 0), StuckAtInstance(1, 1))
+    >>> len(instance.components)
+    2
+    """
+    return CompositeFaultInstance(list(components))

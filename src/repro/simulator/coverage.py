@@ -1,0 +1,229 @@
+"""Coverage Matrix and non-redundancy analysis (paper, Section 6).
+
+A March test is split into *elementary blocks*; we operationalize a
+block as one verifying read per cell position (the observation point of
+an excite/observe pair -- the excitation context is whatever precedes
+the read).  The Coverage Matrix CM has one row per block and one column
+per target fault case; ``CM[block][case] = 1`` when the block alone
+(all other reads demoted to non-verifying, so machine behaviour is
+unchanged) detects the case.
+
+The test detects everything iff each column has a 1; it is
+non-redundant iff the minimum set cover of the columns needs **all**
+rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..faults.instances import FaultCase
+from ..march.element import MarchElement
+from ..march.test import MarchTest
+from ..memory.array import MemoryArray
+from .engine import run_march
+from .faultsim import DEFAULT_SIZE
+from .setcover import is_exact_cover_needed, minimum_cover
+
+
+@dataclass(frozen=True)
+class ElementaryBlock:
+    """One observation point: the k-th verifying read (per cell) of the
+    test, identified by element and in-element op index."""
+
+    index: int
+    element_index: int
+    op_index: int
+
+    def describe(self, test: MarchTest) -> str:
+        element = test.elements[self.element_index]
+        assert isinstance(element, MarchElement)
+        return (
+            f"block{self.index}"
+            f"[elem{self.element_index}:{element.order.symbol}"
+            f" op{self.op_index}:{element.ops[self.op_index]}]"
+        )
+
+
+def elementary_blocks(test: MarchTest) -> Tuple[ElementaryBlock, ...]:
+    """Enumerate the verifying reads of a test, in execution order."""
+    blocks: List[ElementaryBlock] = []
+    for element_index, element in enumerate(test.elements):
+        if not isinstance(element, MarchElement):
+            continue
+        for op_index, op in enumerate(element.ops):
+            if op.is_read and op.value is not None:
+                blocks.append(
+                    ElementaryBlock(len(blocks), element_index, op_index)
+                )
+    return tuple(blocks)
+
+
+@dataclass
+class CoverageMatrix:
+    """The CM of Section 6 plus the derived redundancy verdicts."""
+
+    test: MarchTest
+    blocks: Tuple[ElementaryBlock, ...]
+    case_names: Tuple[str, ...]
+    matrix: Tuple[Tuple[bool, ...], ...]  # [block][case]
+
+    @property
+    def covered_columns(self) -> Set[int]:
+        return {
+            c
+            for c in range(len(self.case_names))
+            if any(row[c] for row in self.matrix)
+        }
+
+    @property
+    def covers_all(self) -> bool:
+        return len(self.covered_columns) == len(self.case_names)
+
+    def rows_as_sets(self) -> List[FrozenSet[int]]:
+        return [
+            frozenset(c for c, hit in enumerate(row) if hit)
+            for row in self.matrix
+        ]
+
+    def minimum_blocks(self) -> List[int]:
+        """Indices of a minimum block subset covering every case."""
+        return minimum_cover(self.rows_as_sets(), self.covered_columns)
+
+    def is_non_redundant(self) -> bool:
+        """True when every elementary block is necessary (Section 6)."""
+        if not self.covers_all:
+            return False
+        return is_exact_cover_needed(self.rows_as_sets(), self.covered_columns)
+
+    def redundant_blocks(self) -> List[int]:
+        """Blocks outside some minimum cover (empty iff non-redundant)."""
+        if not self.covers_all:
+            return []
+        needed = set(self.minimum_blocks())
+        return [b.index for b in self.blocks if b.index not in needed]
+
+
+def _detects_with_blocks(
+    test: MarchTest,
+    variants,
+    active: Set[Tuple[int, int]],
+    size: int,
+) -> bool:
+    """Worst-case detection with only the given blocks verifying.
+
+    ``active`` holds ``(element_index, op_index)`` keys of the reads
+    that keep their verification; all other reads still execute but do
+    not verify, so machine behaviour is unchanged.  ``variants`` is a
+    sequence of fault-instance factories that must all be caught.
+    """
+    for order_variant in test.concrete_order_variants():
+        for make_instance in variants:
+            memory = MemoryArray(size, fault=make_instance())
+            run = run_march(order_variant, memory, active_reads=active)
+            if not run.detected:
+                return False
+    return True
+
+
+def _variant_columns(cases: Sequence[FaultCase]):
+    """One CM column per behavioural variant.
+
+    Different variants of one worst-case fault (e.g. the two float
+    values of a dead cell) may be observed by *different* elementary
+    blocks, so the paper's per-BFE columns correspond to per-variant
+    columns here.
+    """
+    columns = []
+    for fault_case in cases:
+        many = len(fault_case.variants) > 1
+        for index, factory in enumerate(fault_case.variants):
+            name = f"{fault_case.name}#{index}" if many else fault_case.name
+            columns.append((name, factory))
+    return columns
+
+
+def concrete_realization(test: MarchTest, up: bool = True) -> MarchTest:
+    """Resolve every ANY order to a concrete direction.
+
+    The paper's Coverage Matrix is built over a concrete March test;
+    an ``ANY`` element detects under *either* order, so per-block
+    coverage is only meaningful once an order is fixed.
+    """
+    from ..march.element import AddressOrder, MarchElement
+
+    order = AddressOrder.UP if up else AddressOrder.DOWN
+    elements = tuple(
+        e.with_order(order)
+        if isinstance(e, MarchElement) and e.order is AddressOrder.ANY
+        else e
+        for e in test.elements
+    )
+    return MarchTest(elements, test.name)
+
+
+def coverage_matrix(
+    test: MarchTest,
+    cases: Sequence[FaultCase],
+    size: int = DEFAULT_SIZE,
+    realize_up: Optional[bool] = True,
+) -> CoverageMatrix:
+    """Build the Coverage Matrix of a test against fault cases.
+
+    ``realize_up`` fixes ANY orders to UP (True) or DOWN (False) before
+    the analysis; pass ``None`` to keep the strict worst-case ANY
+    semantics (blocks must detect under every realization alone).
+    """
+    if realize_up is not None:
+        test = concrete_realization(test, realize_up)
+    blocks = elementary_blocks(test)
+    columns = _variant_columns(cases)
+    matrix: List[Tuple[bool, ...]] = []
+    for block in blocks:
+        key = {(block.element_index, block.op_index)}
+        row = tuple(
+            _detects_with_blocks(test, (factory,), key, size)
+            for _, factory in columns
+        )
+        matrix.append(row)
+    return CoverageMatrix(
+        test,
+        blocks,
+        tuple(name for name, _ in columns),
+        tuple(matrix),
+    )
+
+
+def demotion_redundant_blocks(
+    test: MarchTest,
+    cases: Sequence[FaultCase],
+    size: int = DEFAULT_SIZE,
+) -> List[ElementaryBlock]:
+    """Blocks whose verification can be dropped without losing coverage.
+
+    The robust necessity criterion (well-defined for ANY orders): block
+    ``b`` is redundant when demoting *only* ``b`` to a plain read still
+    detects every case in the worst case.  An empty result means every
+    observation is load-bearing.
+    """
+    blocks = elementary_blocks(test)
+    all_keys = {(b.element_index, b.op_index) for b in blocks}
+    redundant: List[ElementaryBlock] = []
+    for block in blocks:
+        active = all_keys - {(block.element_index, block.op_index)}
+        if all(
+            _detects_with_blocks(test, fault_case.variants, active, size)
+            for fault_case in cases
+        ):
+            redundant.append(block)
+    return redundant
+
+
+def is_non_redundant(
+    test: MarchTest,
+    cases: Sequence[FaultCase],
+    size: int = DEFAULT_SIZE,
+) -> bool:
+    """True when no single observation can be demoted (Section 6)."""
+    return not demotion_redundant_blocks(test, cases, size)

@@ -1,0 +1,87 @@
+"""Set covering (paper, Section 6).
+
+The non-redundancy check reduces to Set Covering over the Coverage
+Matrix: find the minimum number of rows (elementary blocks) covering
+every column (fault case).  If the minimum equals the total row count,
+every block is necessary and the March test is non-redundant.
+
+Exact branch and bound with a greedy upper bound; instances here are
+tiny (tens of rows/columns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+
+def greedy_cover(
+    rows: Sequence[FrozenSet[int]], universe: Set[int]
+) -> List[int]:
+    """Classic greedy set cover; returns selected row indices."""
+    uncovered = set(universe)
+    chosen: List[int] = []
+    while uncovered:
+        best_row = max(
+            range(len(rows)),
+            key=lambda r: (len(rows[r] & uncovered), -r),
+        )
+        gain = rows[best_row] & uncovered
+        if not gain:
+            raise ValueError("universe is not coverable by the given rows")
+        chosen.append(best_row)
+        uncovered -= gain
+    return chosen
+
+
+def minimum_cover(
+    rows: Sequence[FrozenSet[int]], universe: Set[int]
+) -> List[int]:
+    """Exact minimum set cover by branch and bound.
+
+    Branches on the least-covered element (fewest candidate rows),
+    bounded by the greedy solution.
+    """
+    universe = set(universe)
+    if not universe:
+        return []
+    coverable = set().union(*rows) if rows else set()
+    if not universe <= coverable:
+        raise ValueError("universe is not coverable by the given rows")
+
+    best: List[int] = greedy_cover(rows, universe)
+
+    candidates_by_element: Dict[int, List[int]] = {
+        element: [r for r in range(len(rows)) if element in rows[r]]
+        for element in universe
+    }
+
+    def recurse(uncovered: Set[int], chosen: List[int]) -> None:
+        nonlocal best
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        if len(chosen) + 1 >= len(best):
+            # Even one more row cannot beat the incumbent.
+            return
+        pivot = min(uncovered, key=lambda e: len(candidates_by_element[e]))
+        for row_index in candidates_by_element[pivot]:
+            chosen.append(row_index)
+            recurse(uncovered - rows[row_index], chosen)
+            chosen.pop()
+
+    recurse(universe, [])
+    return best
+
+
+def is_exact_cover_needed(
+    rows: Sequence[FrozenSet[int]], universe: Set[int]
+) -> bool:
+    """True when *all* rows are needed: |minimum cover| == #rows.
+
+    This is the paper's non-redundancy criterion.
+    """
+    useful_rows = [r for r in rows if r & set(universe)]
+    if len(useful_rows) != len(rows):
+        return False  # a row covering nothing is trivially redundant
+    return len(minimum_cover(rows, universe)) == len(rows)

@@ -1,0 +1,103 @@
+"""Graphviz (DOT) renderers for the paper's figures.
+
+* :func:`mealy_dot` -- a Mealy machine as a state diagram (Figures 1-2;
+  edges with the same endpoints are merged and labelled ``in / out``);
+* :func:`bfe_dot` -- the reduced diagram showing only a BFE's deviating
+  edges (Figure 3);
+* :func:`tpg_dot` -- the weighted Test Pattern Graph (Figure 4).
+
+Only text is produced; render with ``dot -Tpng`` wherever Graphviz is
+available.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from .faults.bfe import BasicFaultEffect, BFEKind
+from .memory.mealy import MealyMachine
+from .patterns.tpg import TestPatternGraph
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def mealy_dot(
+    machine: MealyMachine,
+    name: str = "M",
+    include_unknown_states: bool = False,
+) -> str:
+    """Render a Mealy machine as DOT (the Figure 1 diagram).
+
+    Transitions sharing source, target and output are folded into one
+    edge labelled ``(op1, op2, ...) / out`` exactly as the paper draws
+    them.
+    """
+    grouped: Dict[Tuple[str, str, str], List[str]] = defaultdict(list)
+    for (state, op), target in machine.delta.items():
+        if not include_unknown_states and not state.is_concrete:
+            continue
+        output = machine.lam[(state, op)]
+        grouped[(str(state), str(target), str(output))].append(str(op))
+
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    states = sorted({src for (src, _, _) in grouped} |
+                    {dst for (_, dst, _) in grouped})
+    for state in states:
+        lines.append(f"  {_quote(state)};")
+    for (src, dst, out), ops in sorted(grouped.items()):
+        ops_text = ", ".join(sorted(ops))
+        if len(ops) > 1:
+            ops_text = f"({ops_text})"
+        lines.append(
+            f"  {_quote(src)} -> {_quote(dst)}"
+            f" [label={_quote(f'{ops_text} / {out}')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bfe_dot(bfe: BasicFaultEffect, name: str = "BFE") -> str:
+    """Render only a BFE's deviating edges (the Figure 3 style)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    for state in bfe.state.completions():
+        if bfe.kind is BFEKind.DELTA:
+            target = bfe.concrete_faulty_next(state)
+            label = f"{bfe.op} / -"
+        else:
+            target = state
+            label = f"{bfe.op} / {bfe.faulty_output}"
+        lines.append(
+            f"  {_quote(str(state))} -> {_quote(str(target))}"
+            f" [label={_quote(label)}, color=red, penwidth=2];"
+        )
+        good = state.apply(bfe.op)
+        if bfe.kind is BFEKind.DELTA and good != target:
+            lines.append(
+                f"  {_quote(str(state))} -> {_quote(str(good))}"
+                f" [label={_quote(f'{bfe.op} (good)')}, style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tpg_dot(tpg: TestPatternGraph, name: str = "TPG") -> str:
+    """Render the weighted TPG (the Figure 4 diagram)."""
+    lines = [f"digraph {name} {{", "  node [shape=box];"]
+    for node in tpg.nodes:
+        label = f"TP{node.index + 1}\\n{node.pattern}"
+        lines.append(f"  tp{node.index} [label={_quote(label)}];")
+    for source in range(len(tpg)):
+        for target in range(len(tpg)):
+            if source == target:
+                continue
+            weight = tpg.weight(source, target)
+            style = ", penwidth=2, color=blue" if weight == 0 else ""
+            lines.append(
+                f"  tp{source} -> tp{target}"
+                f" [label={_quote(str(weight))}{style}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

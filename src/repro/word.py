@@ -1,0 +1,213 @@
+"""Word-oriented memory testing (data backgrounds).
+
+The paper's model and Table 3 target bit-oriented memories.  Real RAMs
+read and write w-bit words; the standard extension (van de Goor) runs a
+bit-oriented March test once per *data background*, replacing ``w0/r0``
+with the background word and ``w1/r1`` with its complement.  A set of
+``ceil(log2 w) + 1`` backgrounds distinguishes every pair of bits, so
+intra-word coupling faults become visible.
+
+This module provides:
+
+* :func:`data_backgrounds` -- the standard background set;
+* :class:`WordMemoryArray` -- an n-word, w-bit memory backed by the
+  bit-level :class:`~repro.memory.array.MemoryArray`, so every
+  behavioural fault instance of :mod:`repro.faults.instances` can be
+  injected at bit granularity (including *intra-word* placements);
+* :func:`expand_march` -- a bit-oriented March test expanded over a
+  background set;
+* :func:`run_word_march` / :func:`detects_case` -- execution and
+  worst-case detection on word memories.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .march.element import DelayElement, MarchElement
+from .march.test import MarchTest
+from .memory.array import MemoryArray, NullFaultInstance
+
+
+def data_backgrounds(width: int) -> Tuple[Tuple[int, ...], ...]:
+    """The standard ``ceil(log2 w) + 1`` data backgrounds.
+
+    Background 0 is solid zeros; background k alternates in runs of
+    ``2**(k-1)`` (checkerboard, double stripes, ...).  For every pair of
+    bit positions some background assigns them different values --
+    the property intra-word fault detection rests on.
+
+    >>> data_backgrounds(4)
+    ((0, 0, 0, 0), (0, 1, 0, 1), (0, 0, 1, 1))
+    """
+    if width <= 0:
+        raise ValueError("word width must be positive")
+    count = max(0, math.ceil(math.log2(width))) + 1
+    backgrounds = [tuple(0 for _ in range(width))]
+    for k in range(1, count):
+        run = 1 << (k - 1)
+        backgrounds.append(
+            tuple((bit // run) % 2 for bit in range(width))
+        )
+    return tuple(backgrounds)
+
+
+def distinguishes_all_pairs(
+    backgrounds: Sequence[Sequence[int]], width: int
+) -> bool:
+    """True when every bit pair differs under some background."""
+    for a in range(width):
+        for b in range(a + 1, width):
+            if not any(bg[a] != bg[b] for bg in backgrounds):
+                return False
+    return True
+
+
+def complement(background: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(1 - bit for bit in background)
+
+
+@dataclass
+class WordMemoryArray:
+    """An n-word by w-bit memory over a bit-level backing array.
+
+    Bit ``b`` of word ``a`` lives at bit-address ``a * width + b``, so
+    any bit-level fault instance (stuck-at, coupling across or within
+    words, decoder faults on the *bit* array) can be injected.
+    """
+
+    words: int
+    width: int
+    fault: object = None
+
+    def __post_init__(self) -> None:
+        if self.words <= 0 or self.width <= 0:
+            raise ValueError("words and width must be positive")
+        fault = self.fault if self.fault is not None else NullFaultInstance()
+        self.bits = MemoryArray(self.words * self.width, fault=fault)
+
+    def bit_address(self, word: int, bit: int) -> int:
+        if not 0 <= word < self.words:
+            raise IndexError(f"word {word} out of range")
+        if not 0 <= bit < self.width:
+            raise IndexError(f"bit {bit} out of range")
+        return word * self.width + bit
+
+    def write_word(self, word: int, value: Sequence[int]) -> None:
+        if len(value) != self.width:
+            raise ValueError("value width mismatch")
+        for bit, bit_value in enumerate(value):
+            self.bits.write(self.bit_address(word, bit), bit_value)
+
+    def read_word(self, word: int) -> Tuple[object, ...]:
+        return tuple(
+            self.bits.read(self.bit_address(word, bit))
+            for bit in range(self.width)
+        )
+
+    def wait(self) -> None:
+        self.bits.wait()
+
+
+@dataclass(frozen=True)
+class WordReadRecord:
+    """One word read observation."""
+
+    background_index: int
+    element_index: int
+    op_index: int
+    word: int
+    expected: Tuple[int, ...]
+    actual: Tuple[object, ...]
+
+    @property
+    def mismatch(self) -> bool:
+        return any(
+            a in (0, 1) and a != e for a, e in zip(self.actual, self.expected)
+        )
+
+
+def run_word_march(
+    test: MarchTest,
+    memory: WordMemoryArray,
+    background: Sequence[int],
+    background_index: int = 0,
+) -> List[WordReadRecord]:
+    """Execute a bit-oriented March test at word granularity.
+
+    ``w0``/``r0`` operate with the background word, ``w1``/``r1`` with
+    its complement, per the standard word-oriented expansion.
+    """
+    zero = tuple(background)
+    one = complement(zero)
+    records: List[WordReadRecord] = []
+    for element_index, element in enumerate(test.elements):
+        if isinstance(element, DelayElement):
+            memory.wait()
+            continue
+        assert isinstance(element, MarchElement)
+        for word in element.order.addresses(memory.words):
+            for op_index, op in enumerate(element.ops):
+                value = one if op.value == 1 else zero
+                if op.is_write:
+                    memory.write_word(word, value)
+                    continue
+                actual = memory.read_word(word)
+                if op.value is None:
+                    continue
+                records.append(
+                    WordReadRecord(
+                        background_index, element_index, op_index,
+                        word, value, actual,
+                    )
+                )
+    return records
+
+
+def expand_march(
+    test: MarchTest, width: int
+) -> Tuple[Tuple[Tuple[int, ...], MarchTest], ...]:
+    """The word-oriented expansion: one pass per data background.
+
+    Returns ``(background, test)`` pairs; the test itself is reused
+    unchanged (interpretation happens in :func:`run_word_march`), so the
+    total complexity is ``passes * complexity`` word operations.
+    """
+    return tuple(
+        (background, test) for background in data_backgrounds(width)
+    )
+
+
+def detects_case(
+    test: MarchTest,
+    make_instance: Callable[[], object],
+    words: int,
+    width: int,
+    backgrounds: Optional[Sequence[Sequence[int]]] = None,
+) -> bool:
+    """Worst-case word-level detection of one fault instance factory.
+
+    The fault must be caught under every address-order realization; the
+    background passes run in sequence on a fresh memory per realization
+    (as a production test would).
+    """
+    if backgrounds is None:
+        backgrounds = data_backgrounds(width)
+    for variant in test.concrete_order_variants():
+        memory = WordMemoryArray(words, width, fault=make_instance())
+        detected = False
+        for index, background in enumerate(backgrounds):
+            records = run_word_march(variant, memory, background, index)
+            if any(r.mismatch for r in records):
+                detected = True
+                break
+        if not detected:
+            return False
+    return True
+
+
+def word_complexity(test: MarchTest, width: int) -> int:
+    """Word operations per word over all background passes."""
+    return test.complexity * len(data_backgrounds(width))

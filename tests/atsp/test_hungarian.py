@@ -1,0 +1,95 @@
+"""Tests for the assignment-problem solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atsp.hungarian import (
+    FORBIDDEN,
+    assignment_cycles,
+    solve_assignment,
+)
+
+
+def brute_force_assignment(cost):
+    n = len(cost)
+    best, best_perm = float("inf"), None
+    for perm in itertools.permutations(range(n)):
+        total = sum(cost[r][perm[r]] for r in range(n))
+        if total < best:
+            best, best_perm = total, list(perm)
+    return best_perm, best
+
+
+class TestBasics:
+    def test_empty(self):
+        assert solve_assignment([]) == ([], 0.0)
+
+    def test_single(self):
+        assert solve_assignment([[7]]) == ([0], 7.0)
+
+    def test_two_by_two(self):
+        assignment, total = solve_assignment([[4, 1], [2, 3]])
+        assert assignment == [1, 0]
+        assert total == 3.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            solve_assignment([[1, 2], [3]])
+
+    def test_identity_optimal(self):
+        cost = [
+            [0, 9, 9],
+            [9, 0, 9],
+            [9, 9, 0],
+        ]
+        assignment, total = solve_assignment(cost)
+        assert assignment == [0, 1, 2]
+        assert total == 0.0
+
+    def test_forbidden_arcs_avoided(self):
+        cost = [
+            [FORBIDDEN, 1],
+            [1, FORBIDDEN],
+        ]
+        assignment, total = solve_assignment(cost)
+        assert assignment == [1, 0]
+        assert total == 2.0
+
+
+matrices = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.lists(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=n, max_size=n),
+        min_size=n,
+        max_size=n,
+    )
+)
+
+
+class TestAgainstBruteForce:
+    @given(matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_cost(self, cost):
+        _, expected = brute_force_assignment(cost)
+        assignment, total = solve_assignment(cost)
+        assert total == expected
+        # And the reported assignment realizes the reported cost.
+        assert sum(cost[r][assignment[r]] for r in range(len(cost))) == total
+
+    @given(matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_assignment_is_permutation(self, cost):
+        assignment, _ = solve_assignment(cost)
+        assert sorted(assignment) == list(range(len(cost)))
+
+
+class TestCycles:
+    def test_single_cycle(self):
+        assert assignment_cycles([1, 2, 0]) == [[0, 1, 2]]
+
+    def test_multiple_cycles(self):
+        assert assignment_cycles([1, 0, 3, 2]) == [[0, 1], [2, 3]]
+
+    def test_fixed_points(self):
+        assert assignment_cycles([0, 1]) == [[0], [1]]

@@ -1,0 +1,165 @@
+"""Cross-checked tests for the exact and heuristic ATSP solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atsp.branch_bound import branch_and_bound_cycle
+from repro.atsp.held_karp import held_karp_cycle, held_karp_path
+from repro.atsp.heuristics import (
+    nearest_neighbor_cycle,
+    nearest_neighbor_with_or_opt,
+    or_opt_improve,
+    tour_cost,
+)
+from repro.atsp.solver import brute_force_cycle, solve_cycle, solve_path
+
+
+def random_matrix(n, seed, high=40):
+    rng = random.Random(seed)
+    return [
+        [0 if r == c else rng.randint(1, high) for c in range(n)]
+        for r in range(n)
+    ]
+
+
+small_instances = st.tuples(
+    st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=10 ** 6)
+).map(lambda t: random_matrix(*t))
+
+
+class TestHeldKarp:
+    def test_trivial_sizes(self):
+        assert held_karp_cycle([]) == ([], 0.0)
+        assert held_karp_cycle([[0]]) == ([0], 0.0)
+
+    def test_known_instance(self):
+        cost = [
+            [0, 1, 9],
+            [9, 0, 1],
+            [1, 9, 0],
+        ]
+        tour, total = held_karp_cycle(cost)
+        assert tour == [0, 1, 2]
+        assert total == 3.0
+
+    @given(small_instances)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, cost):
+        _, expected = brute_force_cycle(cost)
+        tour, total = held_karp_cycle(cost)
+        assert total == expected
+        assert total == tour_cost(cost, tour)
+        assert sorted(tour) == list(range(len(cost)))
+
+
+class TestBranchAndBound:
+    @given(small_instances)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_held_karp(self, cost):
+        _, expected = held_karp_cycle(cost)
+        tour, total = branch_and_bound_cycle(cost)
+        assert total == expected
+        assert total == tour_cost(cost, tour)
+
+    def test_moderate_instance(self):
+        cost = random_matrix(18, seed=7)
+        tour, total = branch_and_bound_cycle(cost)
+        assert sorted(tour) == list(range(18))
+        assert total == tour_cost(cost, tour)
+        # Sanity: never worse than the greedy heuristic.
+        _, greedy = nearest_neighbor_cycle(cost)
+        assert total <= greedy
+
+
+class TestHeuristics:
+    def test_nearest_neighbor_visits_all(self):
+        cost = random_matrix(9, seed=3)
+        tour, total = nearest_neighbor_cycle(cost)
+        assert sorted(tour) == list(range(9))
+        assert total == tour_cost(cost, tour)
+
+    def test_or_opt_never_worsens(self):
+        cost = random_matrix(10, seed=5)
+        tour, base = nearest_neighbor_cycle(cost)
+        improved, better = or_opt_improve(cost, tour)
+        assert better <= base
+        assert sorted(improved) == list(range(10))
+
+    @given(small_instances)
+    @settings(max_examples=20, deadline=None)
+    def test_heuristic_upper_bounds_optimum(self, cost):
+        _, optimum = held_karp_cycle(cost)
+        _, heuristic = nearest_neighbor_with_or_opt(cost)
+        assert heuristic >= optimum
+
+
+class TestFacade:
+    @pytest.mark.parametrize("method", ["held_karp", "branch_bound", "brute"])
+    def test_methods_agree(self, method):
+        cost = random_matrix(7, seed=11)
+        _, expected = brute_force_cycle(cost)
+        _, total = solve_cycle(cost, method=method)
+        assert total == expected
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve_cycle([[0]], method="annealing")
+
+    def test_auto_scales(self):
+        cost = random_matrix(20, seed=13)
+        tour, total = solve_cycle(cost)
+        assert sorted(tour) == list(range(20))
+
+
+class TestPathSolving:
+    def test_path_ignores_closing_arc(self):
+        # Costs make the cycle expensive but the open path cheap.
+        cost = [
+            [0, 1, 100],
+            [100, 0, 1],
+            [1, 100, 0],
+        ]
+        order, total = solve_path(cost)
+        assert sorted(order) == [0, 1, 2]
+        assert total == 2.0  # two unit arcs, no closing arc
+
+    def test_path_start_costs(self):
+        cost = [[0, 5], [5, 0]]
+        order, total = solve_path(cost, start_costs=[10, 0])
+        assert order == [1, 0]
+        assert total == 5.0
+
+    def test_allowed_starts_restriction(self):
+        cost = [[0, 5], [5, 0]]
+        order, total = solve_path(
+            cost, start_costs=[10, 0], allowed_starts={0}
+        )
+        assert order == [0, 1]
+        assert total == 15.0
+
+    def test_infeasible_restriction_raises(self):
+        with pytest.raises(ValueError):
+            solve_path([[0]], start_costs=[0], allowed_starts=set())
+
+    def test_path_matches_brute_force_path(self):
+        import itertools
+
+        cost = random_matrix(6, seed=17)
+        starts = [random.Random(23 + k).randint(0, 5) for k in range(6)]
+        best = float("inf")
+        for perm in itertools.permutations(range(6)):
+            total = starts[perm[0]] + sum(
+                cost[perm[k]][perm[k + 1]] for k in range(5)
+            )
+            best = min(best, total)
+        _, total = solve_path(cost, start_costs=starts)
+        assert total == best
+
+    def test_large_instance_uses_depot_construction(self):
+        cost = random_matrix(16, seed=29)
+        order, total = solve_path(cost)
+        assert sorted(order) == list(range(16))
+        walked = sum(cost[order[k]][order[k + 1]] for k in range(15))
+        assert walked == total

@@ -1,0 +1,27 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.faults import FaultList
+from repro.memory.mealy import good_machine
+
+
+@pytest.fixture(scope="session")
+def m0():
+    """The two-cell fault-free machine of Figure 1."""
+    return good_machine(("i", "j"))
+
+
+@pytest.fixture(scope="session")
+def saf_list():
+    return FaultList.from_names("SAF")
+
+
+@pytest.fixture(scope="session")
+def saf_tf_list():
+    return FaultList.from_names("SAF", "TF")
+
+
+@pytest.fixture(scope="session")
+def cfin_list():
+    return FaultList.from_names("CFIN")

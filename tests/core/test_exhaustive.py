@@ -1,0 +1,52 @@
+"""Tests for the bounded exhaustive baseline (Section 2)."""
+
+import pytest
+
+from repro.core.exhaustive import SearchStats, exhaustive_search
+from repro.core.optimize import make_verifier
+from repro.faults import FaultList
+
+
+@pytest.fixture(scope="module")
+def saf_verifier():
+    faults = FaultList.from_names("SAF")
+    return make_verifier(faults.instances(2), 2)
+
+
+class TestSearch:
+    def test_finds_minimal_saf_test(self, saf_verifier):
+        stats = SearchStats()
+        found = exhaustive_search(saf_verifier, max_complexity=5, stats=stats)
+        assert found is not None
+        assert found.complexity == 4  # MATS-equivalent is minimal
+        assert stats.candidates_tested > 0
+
+    def test_respects_max_complexity(self, saf_verifier):
+        found = exhaustive_search(saf_verifier, max_complexity=3)
+        assert found is None
+
+    def test_min_complexity_skips_small_bounds(self, saf_verifier):
+        stats = SearchStats()
+        found = exhaustive_search(
+            saf_verifier, max_complexity=5, min_complexity=4, stats=stats
+        )
+        assert found is not None and found.complexity == 4
+
+    def test_budget_cuts_off(self, saf_verifier):
+        stats = SearchStats()
+        found = exhaustive_search(
+            saf_verifier, max_complexity=8, budget=3, stats=stats
+        )
+        assert found is None
+        assert stats.candidates_tested == 4  # budget + the overflow probe
+
+    def test_saf_tf_needs_five(self):
+        faults = FaultList.from_names("SAF", "TF")
+        verify = make_verifier(faults.instances(2), 2)
+        found = exhaustive_search(verify, max_complexity=5)
+        assert found is not None
+        assert found.complexity == 5
+
+    def test_found_tests_are_verified(self, saf_verifier):
+        found = exhaustive_search(saf_verifier, max_complexity=5)
+        assert saf_verifier(found)

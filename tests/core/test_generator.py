@@ -1,0 +1,155 @@
+"""End-to-end generator tests: the paper's Table 3."""
+
+import pytest
+
+from repro.core import (
+    GenerationError,
+    GeneratorConfig,
+    MarchTestGenerator,
+    generate_march_test,
+)
+from repro.core.optimize import make_verifier
+from repro.faults import FaultList, UserDefinedFault
+from repro.simulator.faultsim import simulate_fault_list
+
+
+def generate(*names, **config_kwargs):
+    config = GeneratorConfig(**config_kwargs) if config_kwargs else None
+    return generate_march_test(*names, config=config)
+
+
+class TestTable3:
+    """Every row of the paper's Table 3, complexity-exact."""
+
+    def test_row1_saf(self):
+        report = generate("SAF")
+        assert report.complexity == 4
+        assert report.verified
+        assert report.equivalent_known.startswith("MATS")
+
+    def test_row2_saf_tf(self):
+        report = generate("SAF", "TF")
+        assert report.complexity == 5
+        assert report.verified
+
+    def test_row3_saf_tf_adf(self):
+        report = generate("SAF", "TF", "ADF")
+        assert report.complexity == 6
+        assert report.verified
+        assert "MATS++" in (report.equivalent_known or "")
+
+    def test_row4_march_x_class(self):
+        report = generate("SAF", "TF", "ADF", "CFIN")
+        assert report.complexity == 6
+        assert report.verified
+        assert "MarchX" in (report.equivalent_known or "")
+
+    def test_row5_march_c_minus_class(self):
+        report = generate("SAF", "TF", "ADF", "CFIN", "CFID")
+        assert report.complexity == 10
+        assert report.verified
+        assert "MarchC-" in (report.equivalent_known or "")
+
+    def test_row6_cfin_only(self):
+        report = generate("CFIN")
+        assert report.complexity == 5  # the paper's "Not Found" row
+        assert report.verified
+
+
+class TestReportInvariants:
+    def test_generated_test_detects_its_fault_list(self):
+        faults = FaultList.from_names("SAF", "TF")
+        report = MarchTestGenerator().generate(faults)
+        assert simulate_fault_list(report.test, faults, 3).complete
+
+    def test_non_redundancy_reported(self):
+        report = generate("SAF")
+        assert report.non_redundant is True
+
+    def test_timings_recorded(self):
+        report = generate("SAF")
+        assert report.elapsed_seconds > 0
+        assert report.complexity_label.endswith("n")
+
+    def test_summary_renders(self):
+        report = generate("SAF")
+        text = report.summary()
+        assert "march test" in text and "4n" in text
+
+    def test_selection_space_tracked(self):
+        report = generate("SAF")
+        assert report.selection_space >= report.selections_explored >= 1
+        assert report.tpg_size >= 1
+
+
+class TestConfigurations:
+    def test_without_equivalence_enumeration(self):
+        report = generate("SAF", equivalence_enumeration=False)
+        assert report.verified
+        assert report.selections_explored == 1
+
+    def test_without_start_preference(self):
+        report = generate("SAF", "TF", prefer_uniform_start=False)
+        assert report.verified
+        assert report.complexity <= 6
+
+    def test_without_tighten(self):
+        report = generate(
+            "SAF", tighten=False, polish=False, canonicalize_orders=False
+        )
+        assert report.verified  # possibly longer, still correct
+
+    def test_without_polish(self):
+        report = generate("CFIN", polish=False)
+        assert report.verified
+
+    def test_redundancy_check_optional(self):
+        report = generate("SAF", check_redundancy=False)
+        assert report.non_redundant is None
+
+
+class TestFurtherFaultModels:
+    @pytest.mark.parametrize(
+        "names, max_complexity",
+        [
+            (("RDF",), 4),
+            (("IRF",), 4),
+            (("WDF",), 6),
+            (("DRDF",), 8),
+            (("SOF",), 4),
+            (("CFST",), 8),
+        ],
+    )
+    def test_single_model_generation(self, names, max_complexity):
+        report = generate(*names)
+        assert report.verified
+        assert report.complexity <= max_complexity
+
+    def test_retention_fault_needs_delay(self):
+        report = generate("DRF")
+        assert report.verified
+        from repro.march.element import DelayElement
+
+        assert any(
+            isinstance(e, DelayElement) for e in report.test.elements
+        )
+
+
+class TestErrors:
+    def test_empty_fault_list(self):
+        with pytest.raises(GenerationError):
+            MarchTestGenerator().generate(FaultList([]))
+
+    def test_fault_without_instances(self):
+        from repro.faults import BFEClass, delta_bfe
+        from repro.memory.operations import write
+        from repro.memory.state import MemoryState
+
+        bfe = delta_bfe(
+            MemoryState.parse("0-"), write("i", 1), MemoryState.parse("0-")
+        )
+        model = UserDefinedFault(
+            "NOSIM", [BFEClass("c", (bfe,), cell_symmetric=True)]
+        )
+        with pytest.raises(GenerationError):
+            MarchTestGenerator().generate(FaultList([model]))

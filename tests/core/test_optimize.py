@@ -1,0 +1,72 @@
+"""Tests for the simulation-checked optimizer."""
+
+import pytest
+
+from repro.core.optimize import (
+    canonicalize_orders,
+    make_verifier,
+    optimize,
+    tighten,
+)
+from repro.faults import FaultList
+from repro.march.catalog import MARCH_C, MARCH_C_MINUS, MATS
+from repro.march.element import AddressOrder
+from repro.march.test import parse_march
+
+
+@pytest.fixture(scope="module")
+def saf_verifier():
+    faults = FaultList.from_names("SAF")
+    return make_verifier(faults.instances(2), 2)
+
+
+class TestVerifier:
+    def test_accepts_covering_test(self, saf_verifier):
+        assert saf_verifier(MATS)
+
+    def test_rejects_malformed(self, saf_verifier):
+        assert not saf_verifier(parse_march("{any(w0); any(r1)}"))
+
+    def test_rejects_non_covering(self, saf_verifier):
+        assert not saf_verifier(parse_march("{any(w0); any(r0)}"))
+
+
+class TestTighten:
+    def test_removes_padding(self, saf_verifier):
+        padded = parse_march("{any(w0); any(r0); any(w0); any(w1); any(r1)}")
+        slim = tighten(padded, saf_verifier)
+        assert slim.complexity == 4
+        assert saf_verifier(slim)
+
+    def test_march_c_loses_redundant_read(self):
+        # The optimizer rediscovers March C- from March C.
+        faults = FaultList.from_names("SAF", "TF", "ADF", "CFIN", "CFID")
+        verify = make_verifier(faults.instances(2), 2)
+        slim = tighten(MARCH_C, verify)
+        assert slim.complexity == MARCH_C_MINUS.complexity == 10
+
+    def test_already_minimal_unchanged(self, saf_verifier):
+        assert tighten(MATS, saf_verifier).complexity == MATS.complexity
+
+
+class TestCanonicalize:
+    def test_relaxes_order_insensitive_elements(self, saf_verifier):
+        concrete = parse_march("{up(w0); up(r0,w1); up(r1)}")
+        relaxed = canonicalize_orders(concrete, saf_verifier)
+        assert all(
+            e.order is AddressOrder.ANY for e in relaxed.march_elements
+        )
+
+    def test_keeps_load_bearing_orders(self):
+        faults = FaultList.from_names("SAF", "TF", "ADF", "CFIN", "CFID")
+        verify = make_verifier(faults.instances(2), 2)
+        relaxed = canonicalize_orders(MARCH_C_MINUS, verify)
+        orders = [e.order for e in relaxed.march_elements]
+        # March C- needs its up/down structure for coupling faults.
+        assert AddressOrder.UP in orders or AddressOrder.DOWN in orders
+
+    def test_optimize_composes(self, saf_verifier):
+        padded = parse_march("{up(w0); up(r0); up(w1); up(r1); up(r1)}")
+        out = optimize(padded, saf_verifier)
+        assert out.complexity == 4
+        assert saf_verifier(out)

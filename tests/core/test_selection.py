@@ -1,0 +1,69 @@
+"""Tests for Section 5 equivalence-class selection enumeration."""
+
+import pytest
+
+from repro.core.selection import (
+    class_candidates,
+    enumerate_selections,
+    selection_space_size,
+)
+from repro.faults import (
+    CouplingInversionFault,
+    FaultList,
+    StuckAtFault,
+    TransitionFault,
+)
+
+
+class TestCandidates:
+    def test_cfin_class_has_two_candidates(self):
+        cls = CouplingInversionFault(primitives=("up",)).classes()[0]
+        candidates = class_candidates(cls)
+        assert len(candidates.patterns) == 2
+
+    def test_saf_class_candidates(self):
+        cls = StuckAtFault().classes()[0]
+        candidates = class_candidates(cls)
+        # delta TP (0-, w1i, r1i) and lambda TP (1-, -, r1i).
+        assert len(candidates.patterns) == 2
+
+
+class TestEnumeration:
+    def test_space_size_is_product(self):
+        classes = CouplingInversionFault().classes()
+        assert selection_space_size(classes) == 2 ** 4
+
+    def test_limit_one_is_greedy(self):
+        classes = CouplingInversionFault().classes()
+        selections = list(enumerate_selections(classes, 1))
+        assert len(selections) == 1
+        assert len(selections[0].choices) == len(classes)
+
+    def test_budget_respected(self):
+        # Truncation may land under the budget, never over it.
+        classes = CouplingInversionFault().classes()
+        assert 1 <= len(list(enumerate_selections(classes, 5))) <= 5
+
+    def test_full_enumeration_when_it_fits(self):
+        classes = CouplingInversionFault(primitives=("up",)).classes()
+        selections = list(enumerate_selections(classes, 100))
+        assert len(selections) == 4  # 2 classes x 2 alternatives
+
+    def test_shared_patterns_ranked_first(self):
+        # SAF's delta TPs coincide with TF's mandatory TPs; the first
+        # selection must therefore reuse them.
+        faults = FaultList([StuckAtFault(), TransitionFault()])
+        classes = faults.classes()
+        first = next(enumerate_selections(classes, 16))
+        assert first.unique_count == 2  # two shared patterns cover all four
+
+    def test_selection_patterns_deduplicated(self):
+        faults = FaultList([StuckAtFault(), TransitionFault()])
+        classes = faults.classes()
+        first = next(enumerate_selections(classes, 16))
+        assert len(first.patterns) == first.unique_count
+
+    def test_truncation_under_tiny_budget(self):
+        classes = CouplingInversionFault().classes()
+        selections = list(enumerate_selections(classes, 2))
+        assert 1 <= len(selections) <= 2

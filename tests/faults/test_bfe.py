@@ -1,0 +1,91 @@
+"""Tests for Basic Fault Effects (Figures 2 and 3 of the paper)."""
+
+import pytest
+
+from repro.faults.bfe import BasicFaultEffect, BFEKind, delta_bfe, lambda_bfe
+from repro.memory.operations import parse_sequence, read, wait, write
+from repro.memory.state import MemoryState
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+#: The first BFE of Figure 3: <up,0> with i aggressor -- w1i from 01
+#: lands in 10 instead of 11.
+CFID_UP0_I = delta_bfe(state("01"), write("i", 1), state("-0"), "CFid<up,0> i->j")
+
+
+class TestValidation:
+    def test_delta_requires_faulty_next(self):
+        with pytest.raises(ValueError):
+            BasicFaultEffect(BFEKind.DELTA, state("00"), write("i", 1))
+
+    def test_lambda_requires_output(self):
+        with pytest.raises(ValueError):
+            BasicFaultEffect(BFEKind.LAMBDA, state("00"), read("i"))
+
+    def test_lambda_requires_read(self):
+        with pytest.raises(ValueError):
+            lambda_bfe(state("00"), write("i", 1), 0)
+
+
+class TestDeviations:
+    def test_deviating_cells(self):
+        assert CFID_UP0_I.deviating_cells(state("01")) == ("j",)
+
+    def test_concrete_faulty_next_overlays_good(self):
+        # Good next of 01 --w1i--> 11; the fault forces j to 0.
+        assert str(CFID_UP0_I.concrete_faulty_next(state("01"))) == "10"
+
+    def test_lambda_has_no_deviating_cells(self):
+        bfe = lambda_bfe(state("10"), read("i"), 0)
+        assert bfe.deviating_cells(state("10")) == ()
+
+    def test_single_deviation_flag(self):
+        assert CFID_UP0_I.is_single_deviation()
+        lifted = delta_bfe(state("0-"), write("i", 1), state("0-"))
+        assert not lifted.is_single_deviation()
+
+
+class TestApplyTo:
+    """Figure 2: the faulty machine M1 differs from M0 by one edge."""
+
+    def test_concrete_bfe_deviates_one_transition(self, m0):
+        m1 = CFID_UP0_I.apply_to(m0, "M1")
+        diffs = m1.deviations_from(m0)
+        assert len(diffs) == 1
+        kind, (s, op) = diffs[0]
+        assert kind == "delta"
+        assert str(s) == "01" and str(op) == "w1i"
+
+    def test_faulty_machine_behaviour(self, m0):
+        m1 = CFID_UP0_I.apply_to(m0)
+        ops = parse_sequence("w0i, w1j, w1i, rj")
+        _, good = m0.run(state("--"), ops)
+        _, bad = m1.run(state("--"), ops)
+        assert good[-1] == 1
+        assert bad[-1] == 0  # the coupling fault forced j to 0
+
+    def test_lifted_bfe_deviates_everywhere_it_matches(self, m0):
+        # SA0-style: w1i lost whenever i holds 0, regardless of j.
+        lifted = delta_bfe(state("0-"), write("i", 1), state("0-"))
+        faulty = lifted.apply_to(m0)
+        diffs = faulty.deviations_from(m0)
+        assert len(diffs) == 2  # states 00 and 01
+
+    def test_lambda_bfe_apply(self, m0):
+        bfe = lambda_bfe(state("1-"), read("i"), 0, "SA0 read")
+        faulty = bfe.apply_to(m0)
+        _, out = faulty.step(state("10"), read("i"))
+        assert out == 0
+
+    def test_wait_bfe(self, m0):
+        # Data retention: after T in state 1-, cell i decays to 0.
+        bfe = delta_bfe(state("1-"), wait(), state("0-"), "DRF")
+        faulty = bfe.apply_to(m0)
+        nxt, _ = faulty.step(state("11"), wait())
+        assert str(nxt) == "01"
+
+    def test_str_contains_label(self):
+        assert "CFid<up,0>" in str(CFID_UP0_I)

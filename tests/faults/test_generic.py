@@ -1,0 +1,109 @@
+"""Tests for the generic BFE interpreter."""
+
+import pytest
+
+from repro.faults.bfe import delta_bfe, lambda_bfe
+from repro.faults.faultlist import BFEClass
+from repro.faults.generic import GenericPairFault, PairBFEInstance
+from repro.memory.array import MemoryArray
+from repro.memory.operations import read, wait, write
+from repro.memory.state import MemoryState
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+def cfid_up0_i():
+    """<up,0> with i aggressor: w1i from 01 forces j to 0."""
+    return delta_bfe(state("01"), write("i", 1), state("-0"))
+
+
+class TestPairBFEInstance:
+    def test_delta_fires_on_matching_state_and_op(self):
+        memory = MemoryArray(3, fault=PairBFEInstance([cfid_up0_i()], 0, 2))
+        memory.write(0, 0)
+        memory.write(2, 1)   # pair state (i=0, j=1)
+        memory.write(0, 1)   # w1i: the deviation fires
+        assert memory.raw[2] == 0
+        assert memory.raw[0] == 1
+
+    def test_delta_silent_on_other_states(self):
+        memory = MemoryArray(3, fault=PairBFEInstance([cfid_up0_i()], 0, 2))
+        memory.write(0, 0)
+        memory.write(2, 0)   # pair state (0, 0): no match
+        memory.write(0, 1)
+        assert memory.raw[2] == 0  # unchanged by fault, was 0 anyway
+        memory.write(2, 1)
+        assert memory.raw[2] == 1
+
+    def test_unrelated_cells_untouched(self):
+        memory = MemoryArray(4, fault=PairBFEInstance([cfid_up0_i()], 0, 2))
+        memory.write(1, 1)
+        memory.write(3, 0)
+        assert memory.raw[1] == 1 and memory.raw[3] == 0
+
+    def test_lambda_read_deviation(self):
+        bfe = lambda_bfe(state("10"), read("i"), 0)
+        memory = MemoryArray(2, fault=PairBFEInstance([bfe], 0, 1))
+        memory.write(0, 1)
+        memory.write(1, 0)
+        assert memory.read(0) == 0   # the lying read
+        assert memory.raw[0] == 1    # state unchanged
+
+    def test_destructive_read_deviation(self):
+        bfe = delta_bfe(state("1-"), read("i"), state("0-"))
+        memory = MemoryArray(2, fault=PairBFEInstance([bfe], 0, 1))
+        memory.write(0, 1)
+        assert memory.read(0) == 1   # answers the good value
+        assert memory.raw[0] == 0    # but flips the cell
+
+    def test_wait_deviation(self):
+        bfe = delta_bfe(state("1-"), wait(), state("0-"))
+        memory = MemoryArray(2, fault=PairBFEInstance([bfe], 0, 1))
+        memory.write(0, 1)
+        memory.wait()
+        assert memory.raw[0] == 0
+
+    def test_requires_distinct_cells(self):
+        with pytest.raises(ValueError):
+            PairBFEInstance([cfid_up0_i()], 1, 1)
+
+    def test_rejects_non_pair_bfes(self):
+        bfe = delta_bfe(
+            MemoryState.parse("0", cells=("i",)),
+            write("i", 1),
+            MemoryState.parse("0", cells=("i",)),
+        )
+        with pytest.raises(ValueError):
+            PairBFEInstance([bfe], 0, 1)
+
+
+class TestGenericPairFault:
+    def test_instances_respect_address_convention(self):
+        # address(i) < address(j): one placement per unordered pair.
+        model = GenericPairFault("X", [BFEClass("c", (cfid_up0_i(),))])
+        assert len(model.instances(3)) == 3
+
+    def test_symmetric_classes_get_one_instance_per_cell(self):
+        bfe = delta_bfe(state("0-"), write("i", 1), state("0-"))
+        model = GenericPairFault(
+            "Y", [BFEClass("c", (bfe,), cell_symmetric=True)]
+        )
+        assert len(model.instances(4)) == 4
+
+    def test_matches_handwritten_cfid_behaviour(self):
+        """The generic interpreter agrees with the dedicated instance."""
+        from repro.faults.instances import CouplingIdempotentInstance
+
+        generic = MemoryArray(
+            2, fault=PairBFEInstance([cfid_up0_i()], 0, 1)
+        )
+        dedicated = MemoryArray(
+            2, fault=CouplingIdempotentInstance(0, 1, True, 0)
+        )
+        script = [(0, 0), (1, 1), (0, 1), (1, 0), (0, 0), (0, 1)]
+        for address, value in script:
+            generic.write(address, value)
+            dedicated.write(address, value)
+            assert generic.snapshot() == dedicated.snapshot()

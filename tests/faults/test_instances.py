@@ -1,0 +1,225 @@
+"""Behavioural tests for the injectable fault instances."""
+
+import pytest
+
+from repro.faults.instances import (
+    CouplingIdempotentInstance,
+    CouplingInversionInstance,
+    CouplingStateInstance,
+    DataRetentionInstance,
+    DeadCellInstance,
+    IncorrectReadInstance,
+    MultiCellAccessInstance,
+    ReadDisturbInstance,
+    SharedCellAccessInstance,
+    StuckAtInstance,
+    StuckOpenInstance,
+    TransitionFaultInstance,
+    WriteDisturbInstance,
+    WrongCellAccessInstance,
+    case,
+)
+from repro.memory.array import MemoryArray
+from repro.memory.state import DASH
+
+
+def memory_with(fault, size=3):
+    return MemoryArray(size, fault=fault)
+
+
+class TestStuckAt:
+    def test_sa0_ignores_writes(self):
+        memory = memory_with(StuckAtInstance(1, 0))
+        memory.write(1, 1)
+        assert memory.read(1) == 0
+
+    def test_sa1_reads_one(self):
+        memory = memory_with(StuckAtInstance(0, 1))
+        memory.write(0, 0)
+        assert memory.read(0) == 1
+
+    def test_other_cells_unaffected(self):
+        memory = memory_with(StuckAtInstance(0, 0))
+        memory.write(2, 1)
+        assert memory.read(2) == 1
+
+
+class TestTransitionFault:
+    def test_up_transition_fails(self):
+        memory = memory_with(TransitionFaultInstance(0, rising=True))
+        memory.write(0, 0)
+        memory.write(0, 1)  # fails silently
+        assert memory.read(0) == 0
+
+    def test_down_transition_ok_for_up_fault(self):
+        memory = memory_with(TransitionFaultInstance(0, rising=True))
+        memory.write(0, 1)  # from '-' is not a definite up transition
+        memory.write(0, 0)
+        assert memory.read(0) == 0
+
+    def test_down_transition_fails(self):
+        memory = memory_with(TransitionFaultInstance(1, rising=False))
+        memory.write(1, 1)
+        memory.write(1, 0)
+        assert memory.read(1) == 1
+
+
+class TestReadFaults:
+    def test_rdf_flips_and_lies(self):
+        memory = memory_with(ReadDisturbInstance(0, 0))
+        memory.write(0, 0)
+        assert memory.read(0) == 1  # wrong value returned
+        assert memory.raw[0] == 1   # and the cell flipped
+
+    def test_drdf_flips_but_answers_correctly(self):
+        memory = memory_with(ReadDisturbInstance(0, 1, deceptive=True))
+        memory.write(0, 1)
+        assert memory.read(0) == 1  # correct answer
+        assert memory.read(0) == 0  # second read sees the flip
+
+    def test_irf_lies_without_flip(self):
+        memory = memory_with(IncorrectReadInstance(0, 1))
+        memory.write(0, 1)
+        assert memory.read(0) == 0
+        assert memory.raw[0] == 1
+
+
+class TestWriteAndRetention:
+    def test_wdf_non_transition_write_flips(self):
+        memory = memory_with(WriteDisturbInstance(0, 0))
+        memory.write(0, 0)   # '-' -> 0 establishes
+        memory.write(0, 0)   # non-transition write disturbs
+        assert memory.read(0) == 1
+
+    def test_drf_decays_on_wait(self):
+        memory = memory_with(DataRetentionInstance(0, 1))
+        memory.write(0, 1)
+        memory.wait()
+        assert memory.read(0) == 0
+
+    def test_drf_only_from_its_value(self):
+        memory = memory_with(DataRetentionInstance(0, 1))
+        memory.write(0, 0)
+        memory.wait()
+        assert memory.read(0) == 0
+
+
+class TestStuckOpen:
+    def test_reads_return_latch(self):
+        memory = memory_with(StuckOpenInstance(1, initial_latch=0))
+        memory.write(0, 1)
+        memory.write(1, 0)  # lost
+        assert memory.read(0) == 1  # loads latch with 1
+        assert memory.read(1) == 1  # returns the latch, not the cell
+
+
+class TestCouplings:
+    def test_cfid_up_forces_victim(self):
+        memory = memory_with(CouplingIdempotentInstance(0, 2, True, 0))
+        memory.write(2, 1)
+        memory.write(0, 0)
+        memory.write(0, 1)  # up transition fires
+        assert memory.read(2) == 0
+
+    def test_cfid_needs_definite_transition(self):
+        memory = memory_with(CouplingIdempotentInstance(0, 2, True, 0))
+        memory.write(2, 1)
+        memory.write(0, 1)  # '-' -> 1 is not a definite up transition
+        assert memory.read(2) == 1
+
+    def test_cfin_inverts_victim(self):
+        memory = memory_with(CouplingInversionInstance(1, 0, False))
+        memory.write(0, 0)
+        memory.write(1, 1)
+        memory.write(1, 0)  # down transition inverts victim
+        assert memory.read(0) == 1
+
+    def test_cfin_double_inversion_cancels(self):
+        memory = memory_with(CouplingInversionInstance(1, 0, True))
+        memory.write(0, 0)
+        memory.write(1, 0)
+        memory.write(1, 1)  # invert
+        memory.write(1, 0)
+        memory.write(1, 1)  # invert back
+        assert memory.read(0) == 0
+
+    def test_cfst_enforces_on_aggressor_entry(self):
+        memory = memory_with(CouplingStateInstance(0, 1, 1, 0))
+        memory.write(1, 1)
+        memory.write(0, 1)  # aggressor enters state 1 -> victim forced 0
+        assert memory.read(1) == 0
+
+    def test_cfst_blocks_victim_writes(self):
+        memory = memory_with(CouplingStateInstance(0, 1, 0, 1))
+        memory.write(0, 0)   # aggressor in state 0
+        memory.write(1, 0)   # victim write is overridden
+        assert memory.read(1) == 1
+
+    def test_coupling_requires_distinct_cells(self):
+        with pytest.raises(ValueError):
+            CouplingIdempotentInstance(1, 1, True, 0)
+        with pytest.raises(ValueError):
+            CouplingInversionInstance(1, 1, True)
+        with pytest.raises(ValueError):
+            CouplingStateInstance(2, 2, 0, 0)
+
+
+class TestAddressFaults:
+    def test_dead_cell_floats(self):
+        memory = memory_with(DeadCellInstance(0, 1))
+        memory.write(0, 0)
+        assert memory.read(0) == 1
+
+    def test_wrong_cell_redirects_both_ways(self):
+        memory = memory_with(WrongCellAccessInstance(0, 2))
+        memory.write(0, 1)       # lands in cell 2
+        assert memory.raw[2] == 1
+        assert memory.raw[0] == DASH
+        memory.write(2, 0)
+        assert memory.read(0) == 0  # reads cell 2
+
+    def test_multi_cell_write_reaches_both(self):
+        memory = memory_with(MultiCellAccessInstance(0, 1))
+        memory.write(0, 1)
+        assert memory.raw[0] == 1 and memory.raw[1] == 1
+
+    def test_multi_cell_read_models(self):
+        for model, expected in (
+            ("and", 0), ("or", 1), ("own", 1), ("other", 0)
+        ):
+            memory = memory_with(MultiCellAccessInstance(0, 1, model))
+            memory.raw[0] = 1
+            memory.raw[1] = 0
+            assert memory.read(0) == expected, model
+
+    def test_multi_cell_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            MultiCellAccessInstance(0, 1, "xor")
+
+    def test_shared_cell_shadows(self):
+        memory = memory_with(SharedCellAccessInstance(0, 1))
+        memory.write(1, 1)  # redirected to cell 0
+        assert memory.raw[0] == 1
+        memory.write(0, 0)
+        assert memory.read(1) == 0
+
+    def test_address_faults_require_distinct_cells(self):
+        for cls in (
+            WrongCellAccessInstance,
+            SharedCellAccessInstance,
+        ):
+            with pytest.raises(ValueError):
+                cls(1, 1)
+        with pytest.raises(ValueError):
+            MultiCellAccessInstance(1, 1)
+
+
+class TestFaultCase:
+    def test_case_requires_variants(self):
+        with pytest.raises(ValueError):
+            case("empty")
+
+    def test_case_builds_fresh_instances(self):
+        fc = case("sa0", lambda: StuckAtInstance(0, 0))
+        first, second = fc.variants[0](), fc.variants[0]()
+        assert first is not second

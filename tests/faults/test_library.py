@@ -1,0 +1,149 @@
+"""Tests for the fault model library and fault lists."""
+
+import pytest
+
+from repro.faults import (
+    MODEL_REGISTRY,
+    AddressDecoderFault,
+    BFEClass,
+    CouplingIdempotentFault,
+    CouplingInversionFault,
+    CouplingStateFault,
+    FaultList,
+    StuckAtFault,
+    TransitionFault,
+    UserDefinedFault,
+    delta_bfe,
+)
+from repro.memory.operations import write
+from repro.memory.state import MemoryState
+
+
+class TestStuckAt:
+    def test_two_classes_with_two_alternatives_each(self):
+        classes = StuckAtFault().classes()
+        assert len(classes) == 2
+        assert all(cls.cardinality == 2 for cls in classes)
+        assert all(cls.cell_symmetric for cls in classes)
+
+    def test_instances_cover_cells_and_polarities(self):
+        cases = StuckAtFault().instances(3)
+        assert len(cases) == 6
+        names = {c.name for c in cases}
+        assert "SA0@0" in names and "SA1@2" in names
+
+
+class TestTransitionFault:
+    def test_singleton_classes(self):
+        classes = TransitionFault().classes()
+        assert len(classes) == 2
+        assert all(cls.cardinality == 1 for cls in classes)
+
+    def test_shares_deviation_with_stuck_at(self):
+        # TF<up> and SA0's delta alternative are the same BFE -- the
+        # node sharing the paper's Section 5 machinery exploits.
+        from repro.faults.faultlist import _bfe_key
+
+        tf_up = TransitionFault().classes()[0].members[0]
+        sa0_delta = StuckAtFault().classes()[0].members[0]
+        assert _bfe_key(tf_up) == _bfe_key(sa0_delta)
+
+
+class TestCouplings:
+    def test_cfid_class_count(self):
+        # 2 transitions x 2 forced values x 2 directions.
+        assert len(CouplingIdempotentFault().classes()) == 8
+
+    def test_cfid_up_only(self):
+        classes = CouplingIdempotentFault(primitives=("up",)).classes()
+        assert len(classes) == 4
+        assert all(cls.cardinality == 1 for cls in classes)
+
+    def test_cfin_classes_have_two_alternatives(self):
+        # The Section 5 example: <up,inv> splits into two BFEs, either
+        # of which covers the fault.
+        classes = CouplingInversionFault().classes()
+        assert len(classes) == 4  # 2 transitions x 2 directions
+        assert all(cls.cardinality == 2 for cls in classes)
+
+    def test_cfst_classes(self):
+        classes = CouplingStateFault().classes()
+        assert len(classes) == 8
+        assert all(cls.cardinality == 2 for cls in classes)
+
+    def test_coupling_instances_cover_ordered_pairs(self):
+        cases = CouplingInversionFault(primitives=("up",)).instances(3)
+        assert len(cases) == 6  # ordered pairs of 3 cells
+
+
+class TestAddressDecoder:
+    def test_class_inventory(self):
+        classes = AddressDecoderFault().classes()
+        names = [cls.name for cls in classes]
+        # 2 type-A classes + (B, C, D) per direction.
+        assert len(classes) == 2 + 3 * 2
+        assert any("ADF-B" in n for n in names)
+        assert any("ADF-C" in n for n in names)
+        assert any("ADF-D" in n for n in names)
+
+    def test_type_b_class_members_are_all_deviations(self):
+        cls = next(
+            c for c in AddressDecoderFault().classes()
+            if c.name.startswith("ADF-B i")
+        )
+        # 6 delta deviations + 2 lambda deviations of the i=>j machine.
+        assert cls.cardinality == 8
+
+    def test_type_c_instances_have_adversarial_read_models(self):
+        cases = AddressDecoderFault().instances(2)
+        c_case = next(c for c in cases if c.name.startswith("ADF-C"))
+        assert len(c_case.variants) == 4
+
+    def test_dead_cell_has_two_float_variants(self):
+        cases = AddressDecoderFault().instances(2)
+        a_case = next(c for c in cases if c.name.startswith("ADF-A"))
+        assert len(a_case.variants) == 2
+
+
+class TestFaultList:
+    def test_from_names(self):
+        fl = FaultList.from_names("SAF", "tf")
+        assert fl.names == ("SAF", "TF")
+
+    def test_from_names_unknown(self):
+        with pytest.raises(KeyError):
+            FaultList.from_names("BOGUS")
+
+    def test_registry_is_complete(self):
+        for name in MODEL_REGISTRY:
+            fl = FaultList.from_names(name)
+            assert fl.classes(), name
+            assert fl.instances(2), name
+
+    def test_duplicate_classes_merged(self):
+        fl = FaultList.from_names("SAF", "SAF")
+        assert len(fl.classes()) == len(FaultList.from_names("SAF").classes())
+
+    def test_add_chains(self):
+        fl = FaultList().add(StuckAtFault()).add(TransitionFault())
+        assert len(fl) == 2
+        assert len(list(iter(fl))) == 2
+
+
+class TestUserDefined:
+    def test_user_fault_round_trip(self):
+        bfe = delta_bfe(
+            MemoryState.parse("0-"), write("i", 1), MemoryState.parse("0-"),
+            "custom",
+        )
+        model = UserDefinedFault(
+            "MYFAULT", [BFEClass("custom", (bfe,), cell_symmetric=True)]
+        )
+        fl = FaultList([model])
+        assert fl.names == ("MYFAULT",)
+        assert len(fl.classes()) == 1
+        assert fl.instances(4) == ()
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            BFEClass("empty", ())

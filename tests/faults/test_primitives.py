@@ -1,0 +1,73 @@
+"""Tests for the <S, F> fault primitive notation."""
+
+import pytest
+
+from repro.faults.primitives import (
+    Effect,
+    FaultPrimitive,
+    Sensitization,
+    parse_primitive,
+)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text, sens, effect",
+        [
+            ("<up,0>", Sensitization.UP, Effect.FORCE_0),
+            ("<down,1>", Sensitization.DOWN, Effect.FORCE_1),
+            ("<updown,inv>", Sensitization.ANY_TRANSITION, Effect.INVERT),
+            ("<0,inv>", Sensitization.ZERO, Effect.INVERT),
+            ("<1,0>", Sensitization.ONE, Effect.FORCE_0),
+            ("<up,stay>", Sensitization.UP, Effect.NO_CHANGE),
+            ("<r,inv>", Sensitization.READ, Effect.INVERT),
+            ("<T,0>", Sensitization.WAIT, Effect.FORCE_0),
+        ],
+    )
+    def test_parse(self, text, sens, effect):
+        primitive = parse_primitive(text)
+        assert primitive.sensitization is sens
+        assert primitive.effect is effect
+
+    def test_parse_aliases(self):
+        assert parse_primitive("<^,~>").sensitization is Sensitization.UP
+        assert parse_primitive("<^,~>").effect is Effect.INVERT
+
+    def test_parse_semicolon_separator(self):
+        assert parse_primitive("<up;0>").effect is Effect.FORCE_0
+
+    @pytest.mark.parametrize("bad", ["<up>", "<up,0,1>", "<sideways,0>", "<up,5>"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_primitive(bad)
+
+    def test_str_roundtrip(self):
+        primitive = parse_primitive("<up,0>")
+        assert parse_primitive(str(primitive)) == primitive
+
+
+class TestSemantics:
+    def test_transition_classification(self):
+        assert Sensitization.UP.is_transition
+        assert Sensitization.ANY_TRANSITION.is_transition
+        assert not Sensitization.ZERO.is_transition
+        assert Sensitization.ZERO.is_state
+
+    def test_sensitizing_writes(self):
+        assert FaultPrimitive(
+            Sensitization.UP, Effect.FORCE_0
+        ).sensitizing_writes == ((0, 1),)
+        assert FaultPrimitive(
+            Sensitization.ANY_TRANSITION, Effect.INVERT
+        ).sensitizing_writes == ((0, 1), (1, 0))
+        assert FaultPrimitive(
+            Sensitization.ZERO, Effect.FORCE_1
+        ).sensitizing_writes == ()
+
+    def test_effect_apply(self):
+        assert Effect.FORCE_0.apply(1) == 0
+        assert Effect.FORCE_1.apply(0) == 1
+        assert Effect.INVERT.apply(0) == 1
+        assert Effect.INVERT.apply(1) == 0
+        assert Effect.INVERT.apply("-") == "-"
+        assert Effect.NO_CHANGE.apply(1) == 1

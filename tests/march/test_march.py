@@ -1,0 +1,75 @@
+"""Tests for March tests: notation, metrics, variants."""
+
+import pytest
+
+from repro.march.element import AddressOrder, DelayElement
+from repro.march.test import MarchTest, march, parse_march
+
+
+class TestNotation:
+    def test_parse_unicode(self):
+        test = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1)}")
+        assert test.complexity == 4
+        assert [e.order for e in test.march_elements] == [
+            AddressOrder.ANY, AddressOrder.UP, AddressOrder.DOWN,
+        ]
+
+    def test_parse_ascii(self):
+        test = parse_march("{any(w0); up(r0,w1); down(r1,w0,r0)}")
+        assert test.complexity == 6
+
+    def test_parse_delay(self):
+        test = parse_march("{any(w0); Del; any(r0)}")
+        assert any(isinstance(e, DelayElement) for e in test.elements)
+        assert test.complexity == 2
+
+    def test_str_roundtrip(self):
+        text = "{⇕(w0); ⇑(r0,w1); ⇓(r1,w0); ⇕(r0)}"
+        assert str(parse_march(text)) == text
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_march("{}")
+        with pytest.raises(ValueError):
+            parse_march("{up()}")
+
+    def test_march_builder(self):
+        test = march(("any", "w0"), ("up", "r0", "w1"), name="demo")
+        assert test.name == "demo"
+        assert test.complexity == 3
+
+    def test_march_builder_with_delay(self):
+        test = march(("any", "w0"), "Del", ("any", "r0"))
+        assert test.complexity == 2
+
+
+class TestMetrics:
+    def test_complexity_label(self):
+        assert parse_march("{any(w0); any(r0)}").complexity_label == "2n"
+
+    def test_operation_count(self):
+        test = parse_march("{any(w0); up(r0,w1)}")
+        assert test.operation_count(1024) == 3 * 1024
+
+    def test_needs_elements(self):
+        with pytest.raises(ValueError):
+            MarchTest(())
+
+    def test_renamed(self):
+        test = parse_march("{any(w0)}").renamed("init")
+        assert test.name == "init"
+
+
+class TestOrderVariants:
+    def test_concrete_variants_expand_any(self):
+        test = parse_march("{any(w0); up(r0); any(r0)}")
+        variants = test.concrete_order_variants()
+        assert len(variants) == 4
+        for variant in variants:
+            assert all(
+                e.order is not AddressOrder.ANY for e in variant.march_elements
+            )
+
+    def test_concrete_test_has_single_variant(self):
+        test = parse_march("{up(w0); down(r0)}")
+        assert len(test.concrete_order_variants()) == 1

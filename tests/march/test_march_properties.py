@@ -1,0 +1,88 @@
+"""Property-based tests on March test structure and simulation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.march.builder import normalize_expectations
+from repro.march.element import AddressOrder, MarchElement, MarchOp
+from repro.march.test import MarchTest, parse_march
+from repro.simulator.engine import good_run, is_well_formed
+
+orders = st.sampled_from(list(AddressOrder))
+ops = st.sampled_from(
+    [MarchOp("w", 0), MarchOp("w", 1), MarchOp("r", 0), MarchOp("r", 1)]
+)
+
+
+@st.composite
+def march_tests(draw):
+    """Random tests whose first operation is a write (so normalization
+    always succeeds)."""
+    element_count = draw(st.integers(min_value=1, max_value=5))
+    elements = []
+    for index in range(element_count):
+        length = draw(st.integers(min_value=1, max_value=4))
+        body = [draw(ops) for _ in range(length)]
+        if index == 0:
+            body[0] = MarchOp("w", draw(st.sampled_from([0, 1])))
+        elements.append(MarchElement(draw(orders), tuple(body)))
+    return MarchTest(tuple(elements))
+
+
+class TestStructuralProperties:
+    @given(march_tests())
+    @settings(max_examples=80, deadline=None)
+    def test_notation_roundtrip(self, test):
+        assert str(parse_march(str(test))) == str(test)
+
+    @given(march_tests())
+    @settings(max_examples=80, deadline=None)
+    def test_complexity_is_sum_of_elements(self, test):
+        assert test.complexity == sum(len(e.ops) for e in test.march_elements)
+        assert test.operation_count(7) == 7 * test.complexity
+
+    @given(march_tests())
+    @settings(max_examples=50, deadline=None)
+    def test_variant_count_is_two_to_the_any(self, test):
+        any_count = sum(
+            1
+            for e in test.march_elements
+            if e.order is AddressOrder.ANY
+        )
+        assert len(test.concrete_order_variants()) == 2 ** any_count
+
+    @given(march_tests())
+    @settings(max_examples=80, deadline=None)
+    def test_normalization_is_idempotent(self, test):
+        once = normalize_expectations(test)
+        assert once is not None  # first op is a write
+        twice = normalize_expectations(once)
+        assert str(once) == str(twice)
+
+    @given(march_tests())
+    @settings(max_examples=60, deadline=None)
+    def test_normalized_tests_are_well_formed(self, test):
+        normalized = normalize_expectations(test)
+        assert is_well_formed(normalized, size=3)
+
+    @given(march_tests(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_good_run_read_count(self, test, size):
+        normalized = normalize_expectations(test)
+        run = good_run(normalized, size)
+        reads_per_cell = sum(
+            1
+            for e in normalized.march_elements
+            for op in e.ops
+            if op.is_read
+        )
+        assert len(run.reads) == reads_per_cell * size
+
+    @given(march_tests())
+    @settings(max_examples=40, deadline=None)
+    def test_normalization_preserves_shape(self, test):
+        normalized = normalize_expectations(test)
+        assert normalized.complexity == test.complexity
+        assert len(normalized.elements) == len(test.elements)
+        for old, new in zip(test.march_elements, normalized.march_elements):
+            assert old.order is new.order
+            assert [op.kind for op in old.ops] == [op.kind for op in new.ops]

@@ -1,0 +1,83 @@
+"""Tests for the simulated n-cell memory array."""
+
+import pytest
+
+from repro.memory.array import MemoryArray, NullFaultInstance
+from repro.memory.state import DASH
+
+
+class TestBasics:
+    def test_initial_contents_are_unknown(self):
+        memory = MemoryArray(4)
+        assert memory.snapshot() == (DASH,) * 4
+
+    def test_write_then_read(self):
+        memory = MemoryArray(2)
+        memory.write(0, 1)
+        assert memory.read(0) == 1
+        assert memory.read(1) == DASH
+
+    def test_fill(self):
+        memory = MemoryArray(3)
+        memory.fill(0)
+        assert memory.snapshot() == (0, 0, 0)
+
+    def test_len(self):
+        assert len(MemoryArray(5)) == 5
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MemoryArray(0)
+
+    def test_explicit_contents_must_match_size(self):
+        with pytest.raises(ValueError):
+            MemoryArray(2, raw=[0])
+
+    def test_address_bounds(self):
+        memory = MemoryArray(2)
+        with pytest.raises(IndexError):
+            memory.read(2)
+        with pytest.raises(IndexError):
+            memory.write(-1, 0)
+
+    def test_value_bounds(self):
+        memory = MemoryArray(2)
+        with pytest.raises(ValueError):
+            memory.write(0, 2)
+
+
+class TestFaultHooks:
+    def test_null_instance_is_transparent(self):
+        memory = MemoryArray(2, fault=NullFaultInstance())
+        memory.write(1, 0)
+        assert memory.read(1) == 0
+
+    def test_custom_instance_intercepts(self):
+        class InvertingWrites(NullFaultInstance):
+            def on_write(self, memory, address, value):
+                memory.raw[address] = 1 - value
+
+        memory = MemoryArray(2, fault=InvertingWrites())
+        memory.write(0, 1)
+        assert memory.read(0) == 0
+
+    def test_wait_reaches_instance(self):
+        class CountsWaits(NullFaultInstance):
+            waits = 0
+
+            def on_wait(self, memory):
+                type(self).waits += 1
+
+        memory = MemoryArray(1, fault=CountsWaits())
+        memory.wait()
+        memory.wait()
+        assert CountsWaits.waits == 2
+
+
+class TestTrace:
+    def test_trace_records_operations(self):
+        memory = MemoryArray(2, trace=True)
+        memory.write(0, 1)
+        memory.read(0)
+        memory.wait()
+        assert memory.log == [("w", 0, 1), ("r", 0, 1), ("T", None, None)]

@@ -1,0 +1,102 @@
+"""Tests for the Mealy memory model (Figure 1 of the paper)."""
+
+import pytest
+
+from repro.memory.mealy import good_machine, machines_equal
+from repro.memory.operations import parse_sequence, read, wait, write
+from repro.memory.state import DASH, MemoryState, all_states
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+class TestM0Structure:
+    """The fault-free machine of Figure 1."""
+
+    def test_concrete_state_count(self, m0):
+        concrete = [s for s in m0.states if s.is_concrete]
+        assert len(concrete) == 4  # {00, 01, 10, 11}
+
+    def test_writes_move_to_expected_state(self, m0):
+        nxt, out = m0.step(state("00"), write("i", 1))
+        assert str(nxt) == "10"
+        assert out == DASH
+
+    def test_reads_are_self_loops_with_cell_output(self, m0):
+        for s in all_states(("i", "j")):
+            for cell in ("i", "j"):
+                nxt, out = m0.step(s, read(cell))
+                assert nxt == s
+                assert out == s[cell]
+
+    def test_wait_is_identity(self, m0):
+        for s in all_states(("i", "j")):
+            nxt, out = m0.step(s, wait())
+            assert nxt == s
+            assert out == DASH
+
+    def test_uninitialized_states_present(self, m0):
+        nxt, out = m0.step(state("--"), write("j", 0))
+        assert str(nxt) == "-0"
+        nxt, out = m0.step(state("-0"), read("i"))
+        assert out == DASH  # reading a non-initialized cell
+
+    def test_verifying_read_input_is_canonicalized(self, m0):
+        # r1i and ri are the same machine input.
+        nxt1, out1 = m0.step(state("10"), read("i", 1))
+        nxt2, out2 = m0.step(state("10"), read("i"))
+        assert (nxt1, out1) == (nxt2, out2)
+
+    def test_unknown_transition_raises(self, m0):
+        with pytest.raises(KeyError):
+            m0.step(MemoryState.parse("0", cells=("i",)), read("i"))
+
+
+class TestRun:
+    def test_run_collects_outputs(self, m0):
+        ops = parse_sequence("w0i, w1j, ri, rj")
+        final, outputs = m0.run(state("--"), ops)
+        assert str(final) == "01"
+        assert outputs == (DASH, DASH, 0, 1)
+
+    def test_run_from_power_up_covers_all_states(self, m0):
+        final, _ = m0.run(
+            state("--"), parse_sequence("w1i, w1j, w0i, w0j")
+        )
+        assert str(final) == "00"
+
+
+class TestDerivation:
+    def test_copy_is_structural(self, m0):
+        clone = m0.copy("clone")
+        assert machines_equal(m0, clone)
+        assert clone.name == "clone"
+
+    def test_with_transition_deviates_once(self, m0):
+        faulty = m0.with_transition(state("00"), write("i", 1), state("11"))
+        diffs = faulty.deviations_from(m0)
+        assert diffs == (("delta", (state("00"), write("i", 1))),)
+
+    def test_with_output_deviates_once(self, m0):
+        faulty = m0.with_output(state("10"), read("i"), 0)
+        diffs = faulty.deviations_from(m0)
+        assert diffs == (("lambda", (state("10"), read("i"))),)
+
+    def test_with_transition_requires_existing_edge(self, m0):
+        with pytest.raises(KeyError):
+            m0.with_transition(
+                MemoryState.parse("0", cells=("i",)), write("i", 1), state("00")
+            )
+
+    def test_deviated_machine_behaviour(self, m0):
+        # The <up,1> coupling deviation: w1i from 00 lands in 11.
+        faulty = m0.with_transition(state("00"), write("i", 1), state("11"))
+        final, outputs = faulty.run(
+            state("--"), parse_sequence("w0i, w0j, w1i, rj")
+        )
+        assert outputs[-1] == 1  # good machine would output 0
+        good_final, good_outputs = m0.run(
+            state("--"), parse_sequence("w0i, w0j, w1i, rj")
+        )
+        assert good_outputs[-1] == 0

@@ -1,0 +1,134 @@
+"""Tests for the memory operation alphabet."""
+
+import pytest
+
+from repro.memory.operations import (
+    Operation,
+    OpKind,
+    alphabet,
+    cell_order,
+    format_sequence,
+    parse_operation,
+    parse_sequence,
+    read,
+    wait,
+    write,
+)
+
+
+class TestConstruction:
+    def test_write_carries_cell_and_value(self):
+        op = write("i", 1)
+        assert op.kind is OpKind.WRITE
+        assert op.cell == "i"
+        assert op.value == 1
+
+    def test_read_without_verify(self):
+        op = read("j")
+        assert op.is_read
+        assert op.value is None
+        assert not op.is_verifying_read
+
+    def test_read_and_verify(self):
+        op = read("j", 0)
+        assert op.is_verifying_read
+
+    def test_wait_is_global(self):
+        op = wait()
+        assert op.is_wait
+        assert op.cell is None
+
+    def test_wait_rejects_cell(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.WAIT, cell="i")
+
+    def test_write_requires_binary_value(self):
+        with pytest.raises(ValueError):
+            write("i", 2)
+
+    def test_write_requires_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.WRITE, cell="i")
+
+    def test_read_rejects_bad_verify_value(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, cell="i", value=3)
+
+    def test_operation_requires_cell(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ)
+
+
+class TestDerivedOperations:
+    def test_on_cell_retargets(self):
+        assert write("i", 0).on_cell("j") == write("j", 0)
+
+    def test_on_cell_keeps_wait(self):
+        assert wait().on_cell("j") == wait()
+
+    def test_plain_read_drops_verify(self):
+        assert read("i", 1).plain_read() == read("i")
+
+    def test_plain_read_rejects_writes(self):
+        with pytest.raises(ValueError):
+            write("i", 1).plain_read()
+
+
+class TestTextForms:
+    @pytest.mark.parametrize(
+        "op, text",
+        [
+            (write("i", 0), "w0i"),
+            (write("j", 1), "w1j"),
+            (read("i"), "ri"),
+            (read("j", 1), "r1j"),
+            (wait(), "T"),
+        ],
+    )
+    def test_str(self, op, text):
+        assert str(op) == text
+
+    @pytest.mark.parametrize(
+        "text", ["w0i", "w1j", "ri", "rj", "r0i", "r1j", "T"]
+    )
+    def test_parse_roundtrip(self, text):
+        assert str(parse_operation(text)) == text
+
+    @pytest.mark.parametrize("bad", ["", "x1i", "w2i", "w", "wi"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_operation(bad)
+
+    def test_parse_sequence(self):
+        ops = parse_sequence("w0i, w1j, r0i")
+        assert ops == (write("i", 0), write("j", 1), read("i", 0))
+
+    def test_format_sequence_roundtrip(self):
+        ops = (write("i", 0), read("j", 1), wait())
+        assert parse_sequence(format_sequence(ops)) == ops
+
+
+class TestAlphabet:
+    def test_two_cell_alphabet_size(self):
+        # 3 ops per cell + T: the X alphabet of f.2.1.
+        assert len(alphabet(("i", "j"))) == 7
+
+    def test_alphabet_without_wait(self):
+        ops = alphabet(("i",), include_wait=False)
+        assert len(ops) == 3
+        assert all(not op.is_wait for op in ops)
+
+    def test_alphabet_reads_are_plain(self):
+        assert all(
+            op.value is None for op in alphabet(("i", "j")) if op.is_read
+        )
+
+
+class TestCellOrder:
+    def test_paper_convention(self):
+        # The paper fixes address(i) < address(j).
+        assert cell_order("i") < cell_order("j")
+
+    def test_unknown_cell(self):
+        with pytest.raises(ValueError):
+            cell_order("z")

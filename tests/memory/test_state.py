@@ -1,0 +1,149 @@
+"""Tests for k-cell memory states, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.operations import read, write
+from repro.memory.state import DASH, MemoryState, all_states
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+states2 = st.sampled_from([state(a + b) for a in "01-" for b in "01-"])
+concrete2 = st.sampled_from([state(a + b) for a in "01" for b in "01"])
+
+
+class TestConstruction:
+    def test_parse_and_str_roundtrip(self):
+        for text in ("00", "01", "1-", "--"):
+            assert str(state(text)) == text
+
+    def test_of_orders_cells(self):
+        s = MemoryState.of(j=1, i=0)
+        assert s.cells == ("i", "j")
+        assert str(s) == "01"
+
+    def test_uniform_and_unknown(self):
+        assert str(MemoryState.uniform(("i", "j"), 1)) == "11"
+        assert str(MemoryState.unknown(("i", "j"))) == "--"
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MemoryState(("i", "j"), (0,))
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            MemoryState(("i",), (7,))
+
+    def test_rejects_unordered_cells(self):
+        with pytest.raises(ValueError):
+            MemoryState(("j", "i"), (0, 1))
+
+    def test_getitem_and_contains(self):
+        s = state("01")
+        assert s["i"] == 0 and s["j"] == 1
+        assert "i" in s and "k" not in s
+        with pytest.raises(KeyError):
+            s["k"]
+
+
+class TestAlgebra:
+    def test_set(self):
+        assert str(state("00").set("j", 1)) == "01"
+
+    def test_set_unknown_cell(self):
+        with pytest.raises(KeyError):
+            state("00").set("k", 1)
+
+    def test_apply_write(self):
+        assert str(state("00").apply(write("i", 1))) == "10"
+
+    def test_apply_read_is_identity(self):
+        s = state("01")
+        assert s.apply(read("i")) == s
+
+    def test_matches_concrete(self):
+        assert state("01").matches(state("01"))
+        assert not state("01").matches(state("11"))
+
+    def test_dash_requirement_matches_anything(self):
+        assert state("0-").matches(state("00"))
+        assert state("0-").matches(state("01"))
+
+    def test_concrete_requirement_not_satisfied_by_dash(self):
+        assert not state("01").matches(state("0-"))
+
+    def test_completions(self):
+        completions = {str(s) for s in state("0-").completions()}
+        assert completions == {"00", "01"}
+
+    def test_completions_concrete(self):
+        assert list(state("10").completions()) == [state("10")]
+
+    def test_merge_refines_dashes(self):
+        assert str(state("0-").merge(state("11"))) == "01"
+
+    def test_all_states(self):
+        assert [str(s) for s in all_states(("i", "j"))] == [
+            "00", "01", "10", "11",
+        ]
+
+
+class TestHamming:
+    def test_paper_f41_concrete(self):
+        # Figure 4's weights come from these distances.
+        assert state("11").hamming(state("10")) == 1
+        assert state("10").hamming(state("00")) == 1
+        assert state("01").hamming(state("01")) == 0
+        assert state("11").hamming(state("00")) == 2
+
+    def test_dash_costs_nothing(self):
+        assert state("1-").hamming(state("10")) == 0
+        assert state("--").hamming(state("11")) == 0
+
+    def test_incompatible_cells(self):
+        with pytest.raises(ValueError):
+            state("0").hamming(state("00"))
+
+    @given(concrete2, concrete2)
+    def test_symmetry_on_concrete(self, a, b):
+        assert a.hamming(b) == b.hamming(a)
+
+    @given(concrete2, concrete2, concrete2)
+    def test_triangle_inequality_on_concrete(self, a, b, c):
+        assert a.hamming(c) <= a.hamming(b) + b.hamming(c)
+
+    @given(states2)
+    def test_self_distance_zero(self, s):
+        assert s.hamming(s) == 0
+
+
+class TestFillOperations:
+    def test_fill_matches_weight(self):
+        src, dst = state("11"), state("00")
+        ops = src.fill_operations(dst)
+        assert len(ops) == src.hamming(dst) == 2
+
+    def test_fill_reaches_target(self):
+        src, dst = state("10"), state("01")
+        result = src
+        for op in src.fill_operations(dst):
+            result = result.apply(op)
+        assert dst.matches(result)
+
+    def test_fill_from_unknown_writes_concrete_targets(self):
+        ops = state("--").fill_operations(state("1-"))
+        assert [str(op) for op in ops] == ["w1i"]
+
+    @given(states2, states2)
+    def test_fill_always_satisfies_requirement(self, src, dst):
+        result = src
+        for op in src.fill_operations(dst):
+            result = result.apply(op)
+        assert dst.matches(result)
+
+    @given(concrete2, concrete2)
+    def test_fill_cost_equals_hamming_on_concrete(self, src, dst):
+        assert len(src.fill_operations(dst)) == src.hamming(dst)

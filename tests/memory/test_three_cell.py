@@ -1,0 +1,74 @@
+"""The model layer generalizes beyond two cells: three-cell machines.
+
+The paper argues a two-cell machine suffices for its fault list; the
+substrate nevertheless supports k cells (states, alphabet, Mealy
+machine), which the future-work directions (neighborhood faults) need.
+"""
+
+import pytest
+
+from repro.memory.mealy import good_machine
+from repro.memory.operations import alphabet, parse_sequence, read, write
+from repro.memory.state import MemoryState, all_states
+
+
+CELLS = ("i", "j", "k")
+
+
+class TestThreeCellStates:
+    def test_all_states(self):
+        states = all_states(CELLS)
+        assert len(states) == 8
+        assert str(states[0]) == "000" and str(states[-1]) == "111"
+
+    def test_parse_and_set(self):
+        s = MemoryState.parse("010", CELLS)
+        assert s["j"] == 1
+        assert str(s.set("k", 1)) == "011"
+
+    def test_hamming_three_cells(self):
+        a = MemoryState.parse("000", CELLS)
+        b = MemoryState.parse("111", CELLS)
+        assert a.hamming(b) == 3
+
+    def test_fill_operations(self):
+        a = MemoryState.parse("0--", CELLS)
+        b = MemoryState.parse("011", CELLS)
+        ops = a.fill_operations(b)
+        assert len(ops) == 2
+
+    def test_completions(self):
+        s = MemoryState.parse("0--", CELLS)
+        assert len(list(s.completions())) == 4
+
+
+class TestThreeCellMachine:
+    def test_alphabet_size(self):
+        # 3 ops per cell + T.
+        assert len(alphabet(CELLS)) == 10
+
+    def test_machine_runs(self):
+        machine = good_machine(CELLS)
+        final, outputs = machine.run(
+            MemoryState.unknown(CELLS),
+            parse_sequence("w0i, w1j, w0k, rj, ri, rk"),
+        )
+        assert str(final) == "010"
+        assert outputs[-3:] == (1, 0, 0)
+
+    def test_concrete_state_count(self):
+        machine = good_machine(CELLS)
+        concrete = [s for s in machine.states if s.is_concrete]
+        assert len(concrete) == 8
+
+    def test_three_cell_deviation(self):
+        machine = good_machine(CELLS)
+        faulty = machine.with_transition(
+            MemoryState.parse("010", CELLS),
+            write("i", 1),
+            MemoryState.parse("100", CELLS),
+        )
+        # A neighborhood-style fault: w1i with j=1 clears j.
+        nxt, _ = faulty.step(MemoryState.parse("010", CELLS), write("i", 1))
+        assert str(nxt) == "100"
+        assert len(faulty.deviations_from(machine)) == 1

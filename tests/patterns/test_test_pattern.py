@@ -1,0 +1,114 @@
+"""Tests for test-pattern derivation (paper, f.2.3 and Section 4)."""
+
+import pytest
+
+from repro.faults import CouplingIdempotentFault, FaultList, StuckAtFault
+from repro.faults.bfe import delta_bfe, lambda_bfe
+from repro.memory.operations import read, wait, write
+from repro.memory.state import MemoryState
+from repro.patterns.test_pattern import TestPattern, patterns_for_bfe
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+class TestPaperExamples:
+    """Section 3's <up,0> example: TP1 = (01, w1i, r1j), TP2 = (10, w1j, r1i)."""
+
+    def test_cfid_up0_patterns(self):
+        fault = CouplingIdempotentFault(primitives=("up",), values=(0,))
+        tps = []
+        for cls in fault.classes():
+            for member in cls.members:
+                tps.extend(patterns_for_bfe(member))
+        texts = {str(tp) for tp in tps}
+        assert texts == {"(01, w1i, r1j)", "(10, w1j, r1i)"}
+
+    def test_cfid_up1_patterns(self):
+        fault = CouplingIdempotentFault(primitives=("up",), values=(1,))
+        tps = []
+        for cls in fault.classes():
+            for member in cls.members:
+                tps.extend(patterns_for_bfe(member))
+        texts = {str(tp) for tp in tps}
+        # The paper's TP3 = (00, w1i, r0j) and TP4 = (00, w1j, r0i).
+        assert texts == {"(00, w1i, r0j)", "(00, w1j, r0i)"}
+
+
+class TestDerivation:
+    def test_lambda_pattern_has_no_excitation(self):
+        bfe = lambda_bfe(state("1-"), read("i"), 0, "SA0")
+        (tp,) = patterns_for_bfe(bfe)
+        assert tp.excite is None
+        assert str(tp.observe) == "r1i"
+
+    def test_lambda_with_unknown_good_value_rejected(self):
+        bfe = lambda_bfe(state("-0"), read("i"), 0)
+        with pytest.raises(ValueError):
+            patterns_for_bfe(bfe)
+
+    def test_delta_pattern_per_deviating_cell(self):
+        # A deviation corrupting both cells yields two observation
+        # alternatives.
+        bfe = delta_bfe(state("00"), write("i", 1), state("01"))
+        tps = patterns_for_bfe(bfe)
+        observes = {str(tp.observe) for tp in tps}
+        assert observes == {"r1i", "r0j"}
+
+    def test_destructive_read_excitation_is_verifying(self):
+        bfe = delta_bfe(state("0-"), read("i"), state("1-"), "DRDF")
+        (tp,) = patterns_for_bfe(bfe)
+        assert tp.excite.is_verifying_read
+        assert tp.excite.value == 0
+
+    def test_unobservable_delta_rejected(self):
+        bfe = delta_bfe(state("0-"), write("i", 0), state("0-"))
+        with pytest.raises(ValueError):
+            patterns_for_bfe(bfe)
+
+    def test_observe_must_be_verifying(self):
+        with pytest.raises(ValueError):
+            TestPattern(state("00"), write("i", 1), read("j"))
+
+
+class TestGeometry:
+    def test_observation_state_applies_excitation(self):
+        tp = TestPattern(state("01"), write("i", 1), read("j", 1))
+        assert str(tp.observation_state) == "11"
+
+    def test_observation_state_without_excitation(self):
+        tp = TestPattern(state("10"), None, read("i", 1))
+        assert str(tp.observation_state) == "10"
+
+    def test_wait_excitation_keeps_state(self):
+        tp = TestPattern(state("1-"), wait(), read("i", 1))
+        assert str(tp.observation_state) == "1-"
+
+    def test_setup_cost_matches_f41(self):
+        tp = TestPattern(state("00"), write("i", 1), read("j", 0))
+        assert tp.setup_cost(state("11")) == 2
+        assert tp.setup_cost(state("01")) == 1
+        assert tp.setup_cost(state("00")) == 0
+
+    def test_setup_cost_from_power_up(self):
+        tp = TestPattern(state("0-"), write("i", 1), read("i", 1))
+        assert tp.setup_cost(state("--")) == 1
+
+    def test_setup_operations_reach_init(self):
+        tp = TestPattern(state("01"), write("i", 1), read("j", 1))
+        result = state("10")
+        for op in tp.setup_operations(state("10")):
+            result = result.apply(op)
+        assert tp.init.matches(result)
+
+    def test_key_identity(self):
+        a = TestPattern(state("01"), write("i", 1), read("j", 1))
+        b = TestPattern(state("01"), write("i", 1), read("j", 1), label="x")
+        assert a.key() == b.key()
+
+    def test_operations_body(self):
+        tp = TestPattern(state("01"), write("i", 1), read("j", 1))
+        assert [str(op) for op in tp.operations] == ["w1i", "r1j"]
+        tp2 = TestPattern(state("1-"), None, read("i", 1))
+        assert [str(op) for op in tp2.operations] == ["r1i"]

@@ -1,0 +1,138 @@
+"""Tests for the Test Pattern Graph (Figure 4, f.4.1, f.4.2)."""
+
+import math
+
+import pytest
+
+from repro.faults import CouplingIdempotentFault
+from repro.memory.operations import read, write
+from repro.memory.state import MemoryState
+from repro.patterns.test_pattern import TestPattern, patterns_for_bfe
+from repro.patterns.tpg import TestPatternGraph
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+@pytest.fixture
+def figure4_tpg():
+    """The TPG of Figure 4: fault list {<up,1>, <up,0>}."""
+    fault = CouplingIdempotentFault(primitives=("up",), values=(0, 1))
+    graph = TestPatternGraph()
+    for cls in fault.classes():
+        for member in cls.members:
+            for tp in patterns_for_bfe(member):
+                graph.add(tp, cls.name)
+    return graph
+
+
+class TestFigure4:
+    def test_four_nodes(self, figure4_tpg):
+        assert len(figure4_tpg) == 4
+
+    def test_gts_count_is_v_factorial(self, figure4_tpg):
+        # f.4.2: #GTS = V!
+        assert figure4_tpg.gts_count() == math.factorial(4) == 24
+
+    def test_zero_weight_edges_exist(self, figure4_tpg):
+        # Figure 4 shows 0-weight edges, e.g. TP3 -> TP2 in the paper's
+        # numbering (observation state 10 equals the next init).
+        matrix = figure4_tpg.weight_matrix()
+        zero_offdiag = sum(
+            1
+            for r in range(4)
+            for c in range(4)
+            if r != c and matrix[r][c] == 0
+        )
+        assert zero_offdiag == 2
+
+    def test_weights_match_hamming(self, figure4_tpg):
+        nodes = {str(n.pattern): k for k, n in enumerate(figure4_tpg.nodes)}
+        tp1 = nodes["(01, w1i, r1j)"]
+        tp2 = nodes["(10, w1j, r1i)"]
+        tp3 = nodes["(00, w1i, r0j)"]
+        tp4 = nodes["(00, w1j, r0i)"]
+        w = figure4_tpg.weight
+        # Observation states: TP1 -> 11, TP2 -> 11, TP3 -> 10, TP4 -> 01.
+        assert w(tp1, tp2) == 1
+        assert w(tp3, tp2) == 0
+        assert w(tp4, tp1) == 0
+        assert w(tp1, tp3) == 2
+        assert w(tp2, tp4) == 2
+
+    def test_weight_diagonal_zero(self, figure4_tpg):
+        matrix = figure4_tpg.weight_matrix()
+        assert all(matrix[k][k] == 0 for k in range(4))
+
+    def test_start_weights(self, figure4_tpg):
+        # Starting costs from power-up equal the concrete init size.
+        starts = [figure4_tpg.start_weight(k) for k in range(4)]
+        assert sorted(starts) == [2, 2, 2, 2]
+
+    def test_classes_covered(self, figure4_tpg):
+        assert len(figure4_tpg.classes_covered()) == 4
+
+
+class TestDeduplication:
+    def test_identical_patterns_merge(self):
+        graph = TestPatternGraph()
+        tp = TestPattern(state("01"), write("i", 1), read("j", 1))
+        same = TestPattern(state("01"), write("i", 1), read("j", 1), label="dup")
+        node_a = graph.add(tp, "classA")
+        node_b = graph.add(same, "classB")
+        assert node_a is node_b
+        assert len(graph) == 1
+        assert node_a.covers == {"classA", "classB"}
+
+    def test_from_patterns_with_covers(self):
+        tp1 = TestPattern(state("01"), write("i", 1), read("j", 1))
+        tp2 = TestPattern(state("10"), write("j", 1), read("i", 1))
+        graph = TestPatternGraph.from_patterns([tp1, tp2], ["a", "b"])
+        assert len(graph) == 2
+        assert graph.nodes[0].covers == {"a"}
+
+
+class TestPathMatrix:
+    def test_depot_augmentation(self, figure4_tpg):
+        matrix, depot, size = figure4_tpg.path_matrix()
+        assert size == len(figure4_tpg) + 1
+        assert depot == len(figure4_tpg)
+        # Returning to the depot is free; leaving it costs the start
+        # setup.
+        assert all(matrix[r][depot] == 0 for r in range(len(figure4_tpg)))
+        assert matrix[depot][:4] == [
+            figure4_tpg.start_weight(k) for k in range(4)
+        ]
+
+    def test_dash_start_weight(self):
+        graph = TestPatternGraph()
+        graph.add(TestPattern(state("1-"), None, read("i", 1)))
+        assert graph.start_weight(0) == 1
+
+
+class TestWeightModes:
+    def test_uniform_mode_flattens_costs(self):
+        from repro.faults import CouplingIdempotentFault
+        from repro.patterns.test_pattern import patterns_for_bfe
+
+        fault = CouplingIdempotentFault(primitives=("up",), values=(0, 1))
+        graph = TestPatternGraph(weight_mode="uniform")
+        for cls in fault.classes():
+            for member in cls.members:
+                for tp in patterns_for_bfe(member):
+                    graph.add(tp, cls.name)
+        weights = {
+            graph.weight(r, c)
+            for r in range(len(graph))
+            for c in range(len(graph))
+            if r != c
+        }
+        assert weights <= {0, 1}
+
+    def test_unknown_mode_rejected(self):
+        graph = TestPatternGraph(weight_mode="euclid")
+        graph.add(TestPattern(state("00"), write("i", 1), read("j", 0)))
+        graph.add(TestPattern(state("10"), write("j", 1), read("i", 1)))
+        with pytest.raises(ValueError):
+            graph.weight(0, 1)

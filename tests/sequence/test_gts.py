@@ -1,0 +1,74 @@
+"""Tests for GTS construction (paper, Section 4)."""
+
+from repro.faults import CouplingIdempotentFault
+from repro.patterns.test_pattern import patterns_for_bfe
+from repro.patterns.tpg import TestPatternGraph
+from repro.sequence.gts import Role, build_gts, gts_text
+
+
+def figure4_graph():
+    fault = CouplingIdempotentFault(primitives=("up",), values=(0, 1))
+    graph = TestPatternGraph()
+    for cls in fault.classes():
+        for member in cls.members:
+            for tp in patterns_for_bfe(member):
+                graph.add(tp, cls.name)
+    return graph
+
+
+def node_index(graph, text):
+    return next(k for k, n in enumerate(graph.nodes) if str(n.pattern) == text)
+
+
+class TestWorkedExample:
+    """The paper's Section 4 example: the 12-operation GTS."""
+
+    def test_paper_tour_yields_twelve_operations(self):
+        graph = figure4_graph()
+        # The paper's tour: TP3 -> TP2 -> TP4 -> TP1.
+        tour = [
+            node_index(graph, "(00, w1i, r0j)"),
+            node_index(graph, "(10, w1j, r1i)"),
+            node_index(graph, "(00, w1j, r0i)"),
+            node_index(graph, "(01, w1i, r1j)"),
+        ]
+        gts = build_gts(graph, tour)
+        assert gts.length == 12
+        assert gts_text(gts) == (
+            "w0i, w0j, w1i, r0j, w1j, r1i, w0i, w0j, w1j, r0i, w1i, r1j"
+        )
+
+    def test_roles_assigned(self):
+        graph = figure4_graph()
+        tour = [
+            node_index(graph, "(00, w1i, r0j)"),
+            node_index(graph, "(10, w1j, r1i)"),
+        ]
+        gts = build_gts(graph, tour)
+        roles = [s.role for s in gts.symbols]
+        assert roles == [
+            Role.SETUP, Role.SETUP, Role.EXCITE, Role.OBSERVE,
+            Role.EXCITE, Role.OBSERVE,
+        ]
+
+    def test_zero_weight_edge_needs_no_setup(self):
+        graph = figure4_graph()
+        # TP3's observation state is 10 == TP2's init: no setup writes.
+        tour = [
+            node_index(graph, "(00, w1i, r0j)"),
+            node_index(graph, "(10, w1j, r1i)"),
+        ]
+        gts = build_gts(graph, tour)
+        setups = [s for s in gts.symbols if s.role is Role.SETUP]
+        assert len(setups) == 2  # only the initial power-up writes
+
+    def test_per_cell_length(self):
+        graph = figure4_graph()
+        tour = list(range(len(graph)))
+        gts = build_gts(graph, tour)
+        assert gts.per_cell_length(("i", "j")) <= gts.length
+
+    def test_empty_tour(self):
+        graph = figure4_graph()
+        gts = build_gts(graph, [])
+        assert gts.length == 0

@@ -1,0 +1,136 @@
+"""Tests for the reorder/minimize rewrite phases (Sections 4.1-4.2)."""
+
+from repro.faults import CouplingIdempotentFault
+from repro.memory.operations import read, write
+from repro.patterns.test_pattern import patterns_for_bfe
+from repro.patterns.tpg import TestPatternGraph
+from repro.sequence.gts import (
+    Color,
+    GlobalTestSequence,
+    GTSSymbol,
+    Role,
+    build_gts,
+)
+from repro.sequence.rewrite import minimize, reorder, reorder_and_minimize
+
+
+def sym(op, role, position=0):
+    return GTSSymbol(op, role, position)
+
+
+def seq(*symbols):
+    return GlobalTestSequence(list(symbols))
+
+
+class TestReorder:
+    def test_marks_observe_excite_nucleus(self):
+        gts = seq(
+            sym(write("i", 0), Role.SETUP),
+            sym(read("j", 0), Role.OBSERVE),
+            sym(write("j", 1), Role.EXCITE, 1),
+        )
+        out = reorder(gts)
+        assert out.symbols[1].color is Color.RED
+        assert out.symbols[2].color is Color.BLUE
+
+    def test_no_mark_across_cells(self):
+        gts = seq(
+            sym(read("j", 0), Role.OBSERVE),
+            sym(write("i", 1), Role.EXCITE, 1),
+        )
+        out = reorder(gts)
+        assert all(s.color is None for s in out.symbols)
+
+    def test_no_mark_with_intervening_setup(self):
+        gts = seq(
+            sym(read("j", 0), Role.OBSERVE),
+            sym(write("j", 0), Role.SETUP, 1),
+            sym(write("j", 1), Role.EXCITE, 1),
+        )
+        out = reorder(gts)
+        assert all(s.color is None for s in out.symbols)
+
+    def test_all_symbols_terminal(self):
+        gts = seq(sym(write("i", 0), Role.SETUP))
+        assert all(s.terminal for s in reorder(gts).symbols)
+
+
+class TestMinimize:
+    def test_cross_cell_write_merge(self):
+        gts = seq(
+            sym(write("i", 0), Role.SETUP),
+            sym(write("j", 0), Role.SETUP),
+        )
+        out = minimize(gts)
+        assert len(out) == 1
+        assert out.symbols[0].merged
+        assert str(out.symbols[0].op) == "w0i"
+
+    def test_cross_cell_read_merge(self):
+        gts = seq(
+            sym(read("i", 1), Role.OBSERVE),
+            sym(read("j", 1), Role.OBSERVE),
+        )
+        out = minimize(gts)
+        assert len(out) == 1 and out.symbols[0].merged
+
+    def test_different_values_not_merged(self):
+        gts = seq(
+            sym(write("i", 0), Role.SETUP),
+            sym(write("j", 1), Role.SETUP),
+        )
+        assert len(minimize(gts)) == 2
+
+    def test_same_cell_duplicate_dropped(self):
+        gts = seq(
+            sym(read("i", 0), Role.OBSERVE),
+            sym(read("i", 0), Role.OBSERVE),
+        )
+        out = minimize(gts)
+        assert len(out) == 1
+        assert not out.symbols[0].merged
+
+    def test_merge_keeps_color(self):
+        gts = seq(
+            sym(write("i", 1), Role.EXCITE).colored(Color.BLUE),
+            sym(write("j", 1), Role.SETUP),
+        )
+        out = minimize(gts)
+        assert out.symbols[0].color is Color.BLUE
+
+    def test_merge_prefers_excite_role(self):
+        gts = seq(
+            sym(write("i", 1), Role.SETUP),
+            sym(write("j", 1), Role.EXCITE),
+        )
+        out = minimize(gts)
+        assert out.symbols[0].role is Role.EXCITE
+
+
+class TestWorkedExample:
+    def test_paper_tour_minimizes_to_nine_symbols(self):
+        fault = CouplingIdempotentFault(primitives=("up",), values=(0, 1))
+        graph = TestPatternGraph()
+        for cls in fault.classes():
+            for member in cls.members:
+                for tp in patterns_for_bfe(member):
+                    graph.add(tp, cls.name)
+
+        def index(text):
+            return next(
+                k for k, n in enumerate(graph.nodes) if str(n.pattern) == text
+            )
+
+        tour = [
+            index("(00, w1i, r0j)"),
+            index("(10, w1j, r1i)"),
+            index("(00, w1j, r0i)"),
+            index("(01, w1i, r1j)"),
+        ]
+        minimized = reorder_and_minimize(build_gts(graph, tour))
+        # 12 raw operations collapse by merging each setup write pair
+        # (w0i, w0j) -> w0: 12 - 2 = 10 symbols.
+        assert len(minimized) == 10
+        reds = [s for s in minimized.symbols if s.color is Color.RED]
+        blues = [s for s in minimized.symbols if s.color is Color.BLUE]
+        assert len(reds) == 2 and len(blues) == 2

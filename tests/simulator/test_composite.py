@@ -1,0 +1,82 @@
+"""Tests for composite (multi-defect) fault injection."""
+
+import pytest
+
+from repro.faults.instances import (
+    CouplingIdempotentInstance,
+    IncorrectReadInstance,
+    StuckAtInstance,
+    TransitionFaultInstance,
+)
+from repro.march.catalog import MATS
+from repro.memory.array import MemoryArray
+from repro.simulator.composite import CompositeFaultInstance, compose
+from repro.simulator.engine import run_march
+
+
+class TestComposition:
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            CompositeFaultInstance([])
+
+    def test_two_stuck_cells(self):
+        memory = MemoryArray(
+            4, fault=compose(StuckAtInstance(0, 0), StuckAtInstance(2, 1))
+        )
+        memory.write(0, 1)
+        memory.write(2, 0)
+        memory.write(3, 1)
+        assert memory.read(0) == 0
+        assert memory.read(2) == 1
+        assert memory.read(3) == 1  # healthy cell unaffected
+
+    def test_wait_reaches_all_components(self):
+        from repro.faults.instances import DataRetentionInstance
+
+        memory = MemoryArray(
+            2,
+            fault=compose(
+                DataRetentionInstance(0, 1), DataRetentionInstance(1, 1)
+            ),
+        )
+        memory.write(0, 1)
+        memory.write(1, 1)
+        memory.wait()
+        assert memory.raw == [0, 0]
+
+    def test_interacting_defects_can_mask(self):
+        # A stuck-at-1 victim hides an idempotent coupling forcing 1.
+        coupled = CouplingIdempotentInstance(0, 1, True, 1)
+        stuck = StuckAtInstance(1, 1)
+        memory = MemoryArray(2, fault=compose(stuck, coupled))
+        memory.write(1, 0)   # stuck: stays 1
+        memory.write(0, 0)
+        memory.write(0, 1)   # coupling fires: victim forced 1 (again)
+        assert memory.read(1) == 1
+
+    def test_read_chain_returns_last_view(self):
+        # IRF layered over a healthy read path still lies.
+        memory = MemoryArray(2, fault=compose(IncorrectReadInstance(0, 1)))
+        memory.write(0, 1)
+        assert memory.read(0) == 0
+
+
+class TestDetection:
+    def test_march_detects_composite(self):
+        instance = compose(
+            StuckAtInstance(1, 0), TransitionFaultInstance(2, rising=False)
+        )
+        memory = MemoryArray(4, fault=instance)
+        run = run_march(MATS.concrete_order_variants()[0], memory)
+        assert run.detected
+
+    def test_composite_of_undetectables_escapes(self):
+        # Two down-transition faults: MATS misses each, and the
+        # composite as well -- composition does not create coverage.
+        instance = compose(
+            TransitionFaultInstance(0, rising=False),
+            TransitionFaultInstance(1, rising=False),
+        )
+        memory = MemoryArray(3, fault=instance)
+        run = run_march(MATS.concrete_order_variants()[0], memory)
+        assert not run.detected

@@ -1,0 +1,72 @@
+"""Tests for the set covering solver (Section 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.setcover import (
+    greedy_cover,
+    is_exact_cover_needed,
+    minimum_cover,
+)
+
+
+def rows_of(*sets):
+    return [frozenset(s) for s in sets]
+
+
+class TestGreedy:
+    def test_simple(self):
+        rows = rows_of({0, 1}, {1, 2}, {2})
+        chosen = greedy_cover(rows, {0, 1, 2})
+        covered = set().union(*(rows[k] for k in chosen))
+        assert covered == {0, 1, 2}
+
+    def test_uncoverable(self):
+        with pytest.raises(ValueError):
+            greedy_cover(rows_of({0}), {0, 1})
+
+
+class TestMinimumCover:
+    def test_empty_universe(self):
+        assert minimum_cover(rows_of({0}), set()) == []
+
+    def test_single_row_dominates(self):
+        rows = rows_of({0}, {1}, {0, 1, 2}, {2})
+        assert minimum_cover(rows, {0, 1, 2}) == [2]
+
+    def test_greedy_suboptimal_case(self):
+        # Classic instance where greedy picks the big middle row first
+        # but the optimum is the two side rows.
+        rows = rows_of({0, 1, 2}, {0, 1, 3}, {2, 3})
+        cover = minimum_cover(rows, {0, 1, 2, 3})
+        assert len(cover) == 2
+
+    def test_uncoverable(self):
+        with pytest.raises(ValueError):
+            minimum_cover(rows_of({0}), {0, 1})
+
+    @given(
+        st.lists(
+            st.frozensets(st.integers(0, 7), min_size=1), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_minimum_is_valid_and_not_beaten_by_greedy(self, rows):
+        universe = set().union(*rows)
+        cover = minimum_cover(rows, universe)
+        assert set().union(*(rows[k] for k in cover)) == universe
+        assert len(cover) <= len(greedy_cover(rows, universe))
+
+
+class TestExactCoverNeeded:
+    def test_all_rows_needed(self):
+        rows = rows_of({0}, {1}, {2})
+        assert is_exact_cover_needed(rows, {0, 1, 2})
+
+    def test_redundant_row(self):
+        rows = rows_of({0, 1}, {1})
+        assert not is_exact_cover_needed(rows, {0, 1})
+
+    def test_empty_row_is_redundant(self):
+        rows = rows_of({0}, set())
+        assert not is_exact_cover_needed(rows, {0})

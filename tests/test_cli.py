@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_saf(self, capsys):
+        assert main(["generate", "SAF"]) == 0
+        out = capsys.readouterr().out
+        assert "4n" in out and "verified   : True" in out
+
+    def test_flags(self, capsys):
+        code = main([
+            "generate", "SAF", "--no-equivalence", "--no-polish",
+            "--selection-limit", "4",
+        ])
+        assert code == 0
+
+    def test_unknown_fault(self):
+        with pytest.raises(KeyError):
+            main(["generate", "NOPE"])
+
+
+class TestSimulate:
+    def test_catalog_name(self, capsys):
+        assert main(["simulate", "MATS", "SAF"]) == 0
+        assert "full" in capsys.readouterr().out
+
+    def test_notation_literal(self, capsys):
+        assert main(["simulate", "{any(w0); any(r0,w1); any(r1)}", "SAF"]) == 0
+
+    def test_incomplete_coverage_fails(self, capsys):
+        assert main(["simulate", "MATS", "TF"]) == 1
+
+
+class TestListings:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "MATS" in out and "MarchC-" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "SAF" in out and "BFE classes" in out
+
+
+class TestDot:
+    def test_m0(self, capsys):
+        assert main(["dot", "m0"]) == 0
+        assert capsys.readouterr().out.startswith("digraph M0")
+
+    def test_tpg(self, capsys):
+        assert main(["dot", "tpg", "CFIN"]) == 0
+        assert "digraph TPG" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_march_c_minus(self, capsys):
+        assert main(["analyze", "MarchC-", "SAF", "TF"]) == 0
+        out = capsys.readouterr().out
+        assert "covers all cases : True" in out
+        assert "block analysis" in out
+
+    def test_analyze_flags_redundancy(self, capsys):
+        assert main(["analyze", "MarchC", "SAF", "TF", "CFIN", "CFID"]) == 0
+        out = capsys.readouterr().out
+        assert "redundant" in out
+
+
+class TestDiagnose:
+    def test_diagnose_saf(self, capsys):
+        assert main(["diagnose", "MATS", "SAF"]) == 0
+        out = capsys.readouterr().out
+        assert "unique resolution  : 100%" in out
+
+    def test_diagnose_reports_misses(self, capsys):
+        assert main(["diagnose", "MATS", "TF"]) == 1
+        assert "undetected" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_export_asm(self, capsys):
+        assert main(["export", "MATS"]) == 0
+        assert "FOR a =" in capsys.readouterr().out
+
+    def test_export_csv(self, capsys):
+        assert main(["export", "MATS", "--format", "csv", "--size", "2"]) == 0
+        assert "index,op,address,data" in capsys.readouterr().out
+
+    def test_export_latex(self, capsys):
+        assert main(["export", "MATS", "--format", "latex"]) == 0
+        assert r"\Updownarrow" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Tests for test-program export."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.export import operation_trace, to_assembly, to_csv, trace_length
+from repro.march.catalog import MARCH_C_MINUS, MATS
+from repro.march.test import parse_march
+
+
+class TestTrace:
+    def test_mats_trace_shape(self):
+        entries = list(operation_trace(MATS, 4))
+        assert len(entries) == trace_length(MATS, 4) == 16
+        assert entries[0].kind == "w" and entries[0].address == 0
+
+    def test_descending_element_addresses(self):
+        test = parse_march("{down(w0)}")
+        addresses = [e.address for e in operation_trace(test, 3)]
+        assert addresses == [2, 1, 0]
+
+    def test_delay_entry(self):
+        test = parse_march("{any(w1); Del; any(r1)}")
+        kinds = [e.kind for e in operation_trace(test, 2)]
+        assert kinds == ["w", "w", "T", "r", "r"]
+        assert trace_length(test, 2) == 5
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_linearity(self, size):
+        # The paper's opening claim: march tests are linear in n.
+        entries = list(operation_trace(MARCH_C_MINUS, size))
+        assert len(entries) == MARCH_C_MINUS.complexity * size
+
+    def test_trace_replays_correctly(self):
+        """Replaying the trace on a fault-free memory satisfies every
+        expectation -- the export is execution-equivalent."""
+        from repro.memory.array import MemoryArray
+
+        memory = MemoryArray(5)
+        for entry in operation_trace(MARCH_C_MINUS, 5):
+            if entry.kind == "w":
+                memory.write(entry.address, entry.data)
+            elif entry.kind == "r":
+                value = memory.read(entry.address)
+                if entry.data is not None:
+                    assert value == entry.data
+            else:
+                memory.wait()
+
+
+class TestFormats:
+    def test_csv(self):
+        text = to_csv(MATS, 2)
+        lines = text.splitlines()
+        assert lines[0] == "index,op,address,data"
+        assert lines[1] == "0,w,0,0"
+        assert len(lines) == 1 + 8
+
+    def test_csv_without_header(self):
+        assert to_csv(MATS, 1, header=False).splitlines()[0] == "0,w,0,0"
+
+    def test_assembly_structure(self):
+        listing = to_assembly(MARCH_C_MINUS)
+        assert listing.count("FOR a =") == 6
+        assert "STEP -1" in listing and "STEP +1" in listing
+        assert "EXPECT 1" in listing
+        assert "complexity 10n" in listing
+
+    def test_assembly_wait(self):
+        listing = to_assembly(parse_march("{any(w1); Del; any(r1)}"))
+        assert "WAIT Tret" in listing

@@ -1,0 +1,187 @@
+"""Tests for the dual-port memory extension."""
+
+import pytest
+
+from repro.memory.state import DASH
+from repro.multiport import (
+    MARCH_2PF,
+    DualPortMemoryArray,
+    March2PTest,
+    WeakPortCoupling,
+    WeakReadReadDisturb,
+    WeakWriteLostOnRead,
+    covers_all_weak_faults,
+    detects_weak_case,
+    parse_march_2p,
+    port_read,
+    port_write,
+    run_march_2p,
+    weak_fault_cases,
+)
+from repro.faults.instances import case
+
+
+class TestDualPortArray:
+    def test_single_port_cycles(self):
+        memory = DualPortMemoryArray(3)
+        memory.cycle(port_write(0, 1), None)
+        result = memory.cycle(port_read(0), None)
+        assert result.port_a == 1
+
+    def test_simultaneous_reads_same_cell(self):
+        memory = DualPortMemoryArray(2)
+        memory.cycle(port_write(1, 0), None)
+        result = memory.cycle(port_read(1), port_read(1))
+        assert result.port_a == 0 and result.port_b == 0
+
+    def test_read_during_write_is_indeterminate(self):
+        memory = DualPortMemoryArray(2)
+        memory.cycle(port_write(0, 0), None)
+        result = memory.cycle(port_write(0, 1), port_read(0))
+        assert result.port_b == DASH
+        assert memory.raw[0] == 1  # the write lands
+
+    def test_conflicting_writes_leave_indeterminate(self):
+        memory = DualPortMemoryArray(2)
+        memory.cycle(port_write(0, 0), port_write(0, 1))
+        assert memory.raw[0] == DASH
+
+    def test_agreeing_writes_ok(self):
+        memory = DualPortMemoryArray(2)
+        memory.cycle(port_write(0, 1), port_write(0, 1))
+        assert memory.raw[0] == 1
+
+    def test_parallel_writes_different_cells(self):
+        memory = DualPortMemoryArray(2)
+        memory.cycle(port_write(0, 1), port_write(1, 0))
+        assert memory.snapshot() == (1, 0)
+
+    def test_address_bounds(self):
+        memory = DualPortMemoryArray(2)
+        with pytest.raises(IndexError):
+            memory.cycle(port_read(2), None)
+
+
+class TestWeakFaults:
+    def test_wrr_flips_only_under_double_read(self):
+        memory = DualPortMemoryArray(2, fault=WeakReadReadDisturb(0))
+        memory.cycle(port_write(0, 0), None)
+        single = memory.cycle(port_read(0), None)
+        assert single.port_a == 0 and memory.raw[0] == 0
+        double = memory.cycle(port_read(0), port_read(0))
+        assert double.port_a == 1  # flipped and lied
+        assert memory.raw[0] == 1
+
+    def test_wwl_loses_write_only_on_collision(self):
+        memory = DualPortMemoryArray(2, fault=WeakWriteLostOnRead(1))
+        memory.cycle(port_write(1, 0), None)   # fine alone
+        memory.cycle(port_write(1, 1), port_read(1))  # lost
+        assert memory.raw[1] == 0
+
+    def test_wpc_inverts_read_during_neighbour_write(self):
+        memory = DualPortMemoryArray(3, fault=WeakPortCoupling(1, 0))
+        memory.cycle(port_write(0, 1), None)
+        result = memory.cycle(port_write(1, 0), port_read(0))
+        assert result.port_b == 0   # inverted crosstalk readout
+        assert memory.raw[0] == 1   # stored value intact
+
+    def test_wpc_requires_distinct_cells(self):
+        with pytest.raises(ValueError):
+            WeakPortCoupling(1, 1)
+
+    def test_case_inventory(self):
+        cases = weak_fault_cases(3)
+        names = {c.name for c in cases}
+        assert len([n for n in names if n.startswith("wRR")]) == 3
+        assert len([n for n in names if n.startswith("wWL")]) == 3
+        assert len([n for n in names if n.startswith("wPC")]) == 4
+
+
+class TestNotation:
+    def test_parse_roundtrip(self):
+        text = "{⇕(w0); ⇑(r0:r,w1:r,r1:r); ⇑(w0:r-1); ⇓(w1:r+1)}"
+        test = parse_march_2p(text)
+        assert str(test) == text
+        assert test.complexity == 6
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_march_2p("{up(x0)}")
+        with pytest.raises(ValueError):
+            parse_march_2p("nothing")
+
+    def test_order_variants(self):
+        test = parse_march_2p("{any(w0); any(r0:r)}")
+        assert len(test.concrete_order_variants()) == 4
+
+
+class TestMarch2PF:
+    def test_covers_all_weak_faults(self):
+        ok, missed = covers_all_weak_faults(MARCH_2PF, 3)
+        assert ok, missed
+
+    def test_covers_at_larger_size(self):
+        ok, missed = covers_all_weak_faults(MARCH_2PF, 5)
+        assert ok, missed
+
+    def test_single_port_projection_misses_weak_faults(self):
+        # Stripping the companion reads makes every weak fault
+        # invisible -- the defining property of two-port faults.
+        single = parse_march_2p(
+            "{any(w0); up(r0, w1, r1); up(w0); down(w1)}"
+        )
+        ok, missed = covers_all_weak_faults(single, 3)
+        assert not ok
+        assert len(missed) == len(weak_fault_cases(3))
+
+    def test_each_structural_piece_is_needed(self):
+        # Dropping the up(w0:r-1) element loses the wPC a->a-1 cases.
+        reduced = parse_march_2p(
+            "{any(w0); up(r0:r, w1:r, r1:r); down(w1:r+1)}"
+        )
+        ok, missed = covers_all_weak_faults(reduced, 3)
+        assert not ok
+        assert any("wPC" in name for name in missed)
+
+    def test_fault_free_run_stable(self):
+        memory = DualPortMemoryArray(4)
+        observations = run_march_2p(
+            MARCH_2PF.concrete_order_variants()[0], memory
+        )
+        assert observations
+        assert memory.snapshot() == (1, 1, 1, 1)
+
+    def test_detects_single_case(self):
+        fc = case("wRR@1", lambda: WeakReadReadDisturb(1))
+        assert detects_weak_case(MARCH_2PF, fc, 3)
+
+
+class TestGeneration:
+    def test_generator_with_reduced_targets(self):
+        """Fast check: generate against the wRR cases only."""
+        from repro.multiport.generate import Search2PStats, generate_march_2p
+        from repro.multiport import weak_fault_cases
+
+        targets = [
+            fc for fc in weak_fault_cases(3) if fc.name.startswith("wRR")
+        ]
+        stats = Search2PStats()
+        found = generate_march_2p(
+            size=3, max_complexity=4, budget=20000, stats=stats, cases=targets
+        )
+        assert found is not None
+        assert found.complexity <= 4
+        assert stats.candidates_tested > 0
+
+    def test_generated_5n_result_is_valid(self):
+        """The full generator's known 5n output, verified directly."""
+        from repro.multiport import covers_all_weak_faults, parse_march_2p
+
+        found = parse_march_2p(
+            "{up(w0); up(r0:r, w1:r-1, w0:r); up(w1:r+1)}"
+        )
+        ok, missed = covers_all_weak_faults(found, 3)
+        assert ok, missed
+        ok4, _ = covers_all_weak_faults(found, 4)
+        assert ok4
+        assert found.complexity < MARCH_2PF.complexity

@@ -1,0 +1,64 @@
+"""Tests for Markdown/LaTeX rendering."""
+
+from repro.core.report import GenerationReport
+from repro.march.catalog import MATS
+from repro.march.test import parse_march
+from repro.render import (
+    coverage_summary_markdown,
+    detection_matrix_markdown,
+    march_to_latex,
+    report_to_markdown_row,
+    table3_markdown,
+)
+
+
+def make_report():
+    return GenerationReport(
+        test=MATS,
+        fault_names=("SAF",),
+        elapsed_seconds=0.123,
+        verified=True,
+        equivalent_known="MATS (4n)",
+    )
+
+
+class TestLatex:
+    def test_orders_mapped(self):
+        text = march_to_latex(parse_march("{up(r0,w1); down(r1); any(w0)}"))
+        assert r"\Uparrow(r0,w1)" in text
+        assert r"\Downarrow(r1)" in text
+        assert r"\Updownarrow(w0)" in text
+        assert text.startswith(r"\{") and text.endswith(r"\}")
+
+    def test_delay_rendered(self):
+        text = march_to_latex(parse_march("{any(w1); Del; any(r1)}"))
+        assert r"\mathrm{Del}" in text
+
+
+class TestMarkdown:
+    def test_report_row(self):
+        row = report_to_markdown_row(make_report())
+        assert "SAF" in row and "4n" in row and "MATS (4n)" in row
+
+    def test_table3(self):
+        table = table3_markdown([make_report()])
+        assert table.count("\n") == 2
+        assert table.startswith("| Fault list |")
+
+    def test_detection_matrix(self):
+        matrix = {
+            "MATS": {"SA0@0": True, "SA1@0": True},
+            "MSCAN": {"SA0@0": True, "SA1@0": False},
+        }
+        text = detection_matrix_markdown(matrix)
+        assert "| MATS | x | x |" in text
+        assert "| MSCAN | x |   |" in text
+
+    def test_empty_matrix(self):
+        assert detection_matrix_markdown({}) == ""
+
+    def test_coverage_summary(self):
+        text = coverage_summary_markdown(
+            {"MATS": {"SAF": 1.0, "TF": 0.5}}
+        )
+        assert "full" in text and "50%" in text

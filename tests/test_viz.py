@@ -1,0 +1,64 @@
+"""Tests for the DOT renderers (Figures 1-4)."""
+
+from repro.faults.bfe import delta_bfe, lambda_bfe
+from repro.memory.mealy import good_machine
+from repro.memory.operations import read, write
+from repro.memory.state import MemoryState
+from repro.patterns.test_pattern import TestPattern
+from repro.patterns.tpg import TestPatternGraph
+from repro.viz import bfe_dot, mealy_dot, tpg_dot
+
+
+def state(text):
+    return MemoryState.parse(text)
+
+
+class TestMealyDot:
+    def test_figure1_shape(self, m0):
+        dot = mealy_dot(m0, "M0")
+        assert dot.startswith("digraph M0 {")
+        assert dot.rstrip().endswith("}")
+        # The four concrete states appear as nodes.
+        for s in ("00", "01", "10", "11"):
+            assert f'"{s}"' in dot
+
+    def test_parallel_edges_folded(self, m0):
+        dot = mealy_dot(m0)
+        # Self-loop on 00 groups w0i, w0j and T with output '-'.
+        assert "(T, w0i, w0j) / -" in dot
+
+    def test_unknown_states_excluded_by_default(self, m0):
+        dot = mealy_dot(m0)
+        assert '"--"' not in dot
+        assert '"--"' in mealy_dot(m0, include_unknown_states=True)
+
+
+class TestBfeDot:
+    def test_delta_bfe_shows_faulty_and_good_edges(self):
+        bfe = delta_bfe(state("01"), write("i", 1), state("-0"))
+        dot = bfe_dot(bfe)
+        assert '"01" -> "10"' in dot      # faulty edge (Figure 3)
+        assert '"01" -> "11"' in dot      # dashed good edge
+        assert "color=red" in dot
+
+    def test_lambda_bfe_self_loop(self):
+        bfe = lambda_bfe(state("10"), read("i"), 0)
+        dot = bfe_dot(bfe)
+        assert '"10" -> "10"' in dot
+        assert "/ 0" in dot
+
+    def test_lifted_bfe_renders_all_completions(self):
+        bfe = delta_bfe(state("0-"), write("i", 1), state("0-"))
+        dot = bfe_dot(bfe)
+        assert '"00"' in dot and '"01"' in dot
+
+
+class TestTpgDot:
+    def test_weights_and_zero_edge_highlight(self):
+        graph = TestPatternGraph()
+        graph.add(TestPattern(state("00"), write("i", 1), read("j", 0)))
+        graph.add(TestPattern(state("10"), write("j", 1), read("i", 1)))
+        dot = tpg_dot(graph)
+        assert "tp0 -> tp1" in dot and "tp1 -> tp0" in dot
+        assert "color=blue" in dot  # the 0-weight edge stands out
+        assert "TP1" in dot and "TP2" in dot

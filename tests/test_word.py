@@ -1,0 +1,115 @@
+"""Tests for word-oriented memory testing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.instances import (
+    CouplingIdempotentInstance,
+    StuckAtInstance,
+)
+from repro.march.catalog import MARCH_C_MINUS, MATS
+from repro.word import (
+    WordMemoryArray,
+    complement,
+    data_backgrounds,
+    detects_case,
+    distinguishes_all_pairs,
+    expand_march,
+    run_word_march,
+    word_complexity,
+)
+
+
+class TestBackgrounds:
+    def test_width_one(self):
+        assert data_backgrounds(1) == ((0,),)
+
+    def test_width_four(self):
+        assert data_backgrounds(4) == (
+            (0, 0, 0, 0), (0, 1, 0, 1), (0, 0, 1, 1),
+        )
+
+    def test_count_is_log2_plus_one(self):
+        for width, expected in ((1, 1), (2, 2), (4, 3), (8, 4), (16, 5)):
+            assert len(data_backgrounds(width)) == expected
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            data_backgrounds(0)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_all_bit_pairs_distinguished(self, width):
+        backgrounds = data_backgrounds(width)
+        assert distinguishes_all_pairs(backgrounds, width)
+
+    def test_complement(self):
+        assert complement((0, 1, 0)) == (1, 0, 1)
+
+
+class TestWordMemory:
+    def test_write_read_roundtrip(self):
+        memory = WordMemoryArray(4, 8)
+        word = (0, 1, 1, 0, 0, 1, 0, 1)
+        memory.write_word(2, word)
+        assert memory.read_word(2) == word
+
+    def test_bit_addressing(self):
+        memory = WordMemoryArray(3, 4)
+        assert memory.bit_address(2, 3) == 11
+        with pytest.raises(IndexError):
+            memory.bit_address(3, 0)
+        with pytest.raises(IndexError):
+            memory.bit_address(0, 4)
+
+    def test_width_mismatch(self):
+        memory = WordMemoryArray(2, 4)
+        with pytest.raises(ValueError):
+            memory.write_word(0, (0, 1))
+
+    def test_bit_level_fault_visible_at_word_level(self):
+        memory = WordMemoryArray(2, 4, fault=StuckAtInstance(5, 0))
+        memory.write_word(1, (1, 1, 1, 1))  # bit 5 = word 1, bit 1
+        assert memory.read_word(1) == (1, 0, 1, 1)
+
+
+class TestWordMarch:
+    def test_good_memory_never_mismatches(self):
+        memory = WordMemoryArray(3, 4)
+        for index, background in enumerate(data_backgrounds(4)):
+            records = run_word_march(MATS, memory, background, index)
+            assert records and not any(r.mismatch for r in records)
+
+    def test_expand_march_pass_count(self):
+        passes = expand_march(MATS, 8)
+        assert len(passes) == 4
+        assert word_complexity(MATS, 8) == 16
+
+    def test_stuck_bit_detected_with_solid_background(self):
+        assert detects_case(
+            MATS, lambda: StuckAtInstance(3, 0), words=2, width=4
+        )
+
+    def test_intra_word_coupling_needs_multiple_backgrounds(self):
+        """The motivating property of data backgrounds.
+
+        CFid <up,1> from bit 1 onto bit 0 of the same word: under solid
+        backgrounds the victim always already holds the forced value
+        when the aggressor rises (both bits carry the same data), so
+        the fault is invisible; the checkerboard background splits the
+        pair and exposes it.
+        """
+        make = lambda: CouplingIdempotentInstance(1, 0, True, 1)
+        solid_only = [data_backgrounds(4)[0]]
+        assert not detects_case(
+            MARCH_C_MINUS, make, words=2, width=4, backgrounds=solid_only
+        )
+        assert detects_case(MARCH_C_MINUS, make, words=2, width=4)
+
+    def test_inter_word_coupling_detected_even_solid(self):
+        # Bits in different words move independently already.
+        make = lambda: CouplingIdempotentInstance(0, 4, True, 0)
+        solid_only = [data_backgrounds(4)[0]]
+        assert detects_case(
+            MARCH_C_MINUS, make, words=2, width=4, backgrounds=solid_only
+        )
