@@ -1,0 +1,177 @@
+"""SimulationKernel vs. the legacy per-call simulation path.
+
+Workload: the full ``detection_matrix`` of eight catalog March tests
+against the paper's Table 3 fault list (SAF+TF+ADF+CFin+CFid).
+
+Compared paths:
+
+* **legacy**   -- the pre-refactor loop: variants re-enumerated and a
+  fresh ``MemoryArray`` allocated per (order-variant, fault-variant);
+* **cold**     -- a fresh kernel (serial backend): pooled memories,
+  per-test variant hoisting, batched evaluation;
+* **warm**     -- the same kernel again: pure fault-dictionary lookups;
+* **process**  -- a fresh kernel with the multiprocessing backend.
+
+``python benchmarks/bench_kernel.py`` prints the comparison table
+without the pytest-benchmark machinery.  The ``test_*_guard`` checks
+double as the CI smoke benchmark: they fail when the warm-cache path
+stops being >= 3x faster than legacy or when the cold path regresses
+past a generous wall-clock ceiling.
+"""
+
+import pathlib
+import sys
+import time
+
+from repro.faults import FaultList
+from repro.kernel import SimulationKernel
+from repro.march.catalog import (
+    MARCH_A,
+    MARCH_B,
+    MARCH_C_MINUS,
+    MARCH_X,
+    MARCH_Y,
+    MATS,
+    MATS_PLUS_PLUS,
+    MSCAN,
+)
+
+# The frozen legacy baseline is shared with the equivalence suite so
+# the speedup guard and the byte-identity properties can never compare
+# against two diverging "legacy" definitions.
+sys.path.insert(
+    0,
+    str(pathlib.Path(__file__).resolve().parent.parent / "tests" / "kernel"),
+)
+from legacy_reference import legacy_detection_matrix  # noqa: E402
+
+TESTS = [
+    MATS,
+    MATS_PLUS_PLUS,
+    MARCH_X,
+    MARCH_Y,
+    MARCH_C_MINUS,
+    MARCH_A,
+    MARCH_B,
+    MSCAN,
+]
+SIZE = 3
+
+#: Acceptance floor: warm-cache detection_matrix vs. the legacy path.
+REQUIRED_WARM_SPEEDUP = 3.0
+#: CI wall-clock ceiling for one cold kernel matrix (seconds); the
+#: measured value is ~0.1 s on a laptop, so 10 s only catches gross
+#: regressions on slow shared runners.
+COLD_WALL_CLOCK_CEILING = 10.0
+
+
+def table3_faults():
+    return FaultList.from_names("SAF", "TF", "ADF", "CFIN", "CFID")
+
+
+# -- measured scenarios --------------------------------------------------------
+
+
+def run_legacy(faults):
+    return legacy_detection_matrix(TESTS, faults, SIZE)
+
+
+def run_kernel_cold(faults, backend="serial"):
+    return SimulationKernel(backend=backend).detection_matrix(
+        TESTS, faults, SIZE
+    )
+
+
+def make_warm_kernel(faults):
+    kernel = SimulationKernel()
+    kernel.detection_matrix(TESTS, faults, SIZE)
+    return kernel
+
+
+def run_kernel_warm(kernel, faults):
+    return kernel.detection_matrix(TESTS, faults, SIZE)
+
+
+# -- pytest-benchmark entry points --------------------------------------------
+
+
+def test_legacy_path(bench_once):
+    bench_once(run_legacy, table3_faults())
+
+
+def test_kernel_cold_serial(bench_once):
+    bench_once(run_kernel_cold, table3_faults())
+
+
+def test_kernel_cold_process(bench_once):
+    bench_once(run_kernel_cold, table3_faults(), backend="process")
+
+
+def test_kernel_warm(bench_once):
+    faults = table3_faults()
+    kernel = make_warm_kernel(faults)
+    bench_once(run_kernel_warm, kernel, faults)
+
+
+# -- CI smoke guards -----------------------------------------------------------
+
+
+def _best_of(repeats, fn, *args):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_warm_cache_speedup_guard():
+    """Acceptance criterion: warm kernel >= 3x faster than legacy."""
+    faults = table3_faults()
+    legacy_seconds, legacy_matrix = _best_of(3, run_legacy, faults)
+    kernel = make_warm_kernel(faults)
+    warm_seconds, warm_matrix = _best_of(3, run_kernel_warm, kernel, faults)
+    assert warm_matrix == legacy_matrix
+    speedup = legacy_seconds / warm_seconds
+    assert speedup >= REQUIRED_WARM_SPEEDUP, (
+        f"warm kernel only {speedup:.1f}x faster than legacy"
+        f" ({warm_seconds * 1e3:.2f} ms vs {legacy_seconds * 1e3:.2f} ms)"
+    )
+
+
+def test_cold_wall_clock_guard():
+    """Wall-clock regression guard for the uncached kernel path."""
+    seconds, _ = _best_of(2, run_kernel_cold, table3_faults())
+    assert seconds < COLD_WALL_CLOCK_CEILING, (
+        f"cold kernel detection_matrix took {seconds:.2f}s"
+        f" (ceiling {COLD_WALL_CLOCK_CEILING}s)"
+    )
+
+
+def main():
+    faults = table3_faults()
+    legacy_seconds, _ = _best_of(3, run_legacy, faults)
+    cold_seconds, _ = _best_of(3, run_kernel_cold, faults)
+    process_seconds, _ = _best_of(1, run_kernel_cold, faults, "process")
+    kernel = make_warm_kernel(faults)
+    warm_seconds, _ = _best_of(3, run_kernel_warm, kernel, faults)
+    cases = len(faults.instances(SIZE))
+    print(
+        f"detection_matrix: {len(TESTS)} tests x {cases} fault cases"
+        f" at size {SIZE}"
+    )
+    rows = [
+        ("legacy per-call", legacy_seconds, 1.0),
+        ("kernel cold (serial)", cold_seconds, legacy_seconds / cold_seconds),
+        ("kernel cold (process)", process_seconds,
+         legacy_seconds / process_seconds),
+        ("kernel warm cache", warm_seconds, legacy_seconds / warm_seconds),
+    ]
+    for label, seconds, speedup in rows:
+        print(f"  {label:24s} {seconds * 1e3:9.2f} ms   {speedup:7.1f}x")
+    print(f"  {kernel.stats}")
+
+
+if __name__ == "__main__":
+    main()

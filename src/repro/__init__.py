@@ -21,11 +21,16 @@ from .core.generator import (
 )
 from .core.report import GenerationReport
 from .faults.faultlist import BFEClass, FaultList, FaultModel
+from .kernel import (
+    SimulationKernel,
+    SimulationReport,
+    get_default_kernel,
+)
 from .march.catalog import CATALOG, by_name
 from .march.test import MarchTest, march, parse_march
 from .simulator.faultsim import simulate_fault_list
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GeneratorConfig",
@@ -41,6 +46,9 @@ __all__ = [
     "MarchTest",
     "march",
     "parse_march",
+    "SimulationKernel",
+    "SimulationReport",
+    "get_default_kernel",
     "simulate_fault_list",
     "__version__",
 ]

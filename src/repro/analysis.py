@@ -17,10 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.exhaustive import SearchStats, exhaustive_search
-from .core.optimize import make_verifier
 from .faults.faultlist import FaultList
+from .kernel import DEFAULT_SIZE, SimulationKernel, get_default_kernel
 from .march.test import MarchTest
-from .simulator.faultsim import DEFAULT_SIZE, detects_case
 
 
 @dataclass
@@ -61,17 +60,25 @@ class CoverageReport:
 
 
 def coverage_report(
-    test: MarchTest, faults: FaultList, size: int = DEFAULT_SIZE
+    test: MarchTest,
+    faults: FaultList,
+    size: int = DEFAULT_SIZE,
+    kernel: Optional[SimulationKernel] = None,
 ) -> CoverageReport:
-    """Evaluate a test against every model of a fault list."""
+    """Evaluate a test against every model of a fault list.
+
+    Per-model verdicts are resolved in one kernel batch, so a process
+    backend can chunk the whole report across workers.
+    """
+    kernel = kernel or get_default_kernel()
     models = []
     for model in faults:
+        cases = model.instances(size)
+        report = kernel.simulate(test, cases, size) if cases else None
         entry = ModelCoverage(model.name)
-        for fault_case in model.instances(size):
-            if detects_case(test, fault_case, size):
-                entry.detected.append(fault_case.name)
-            else:
-                entry.missed.append(fault_case.name)
+        if report is not None:
+            entry.detected.extend(report.detected)
+            entry.missed.extend(report.missed)
         models.append(entry)
     return CoverageReport(test, models)
 
@@ -80,10 +87,15 @@ def compare(
     tests: Sequence[MarchTest],
     faults: FaultList,
     size: int = DEFAULT_SIZE,
+    kernel: Optional[SimulationKernel] = None,
 ) -> Dict[str, CoverageReport]:
     """Coverage reports for several tests over the same fault list."""
+    kernel = kernel or get_default_kernel()
+    # Warm the shared fault dictionary in one batch before the
+    # per-model reports slice it up.
+    kernel.simulate_many(list(tests), faults.instances(size), size)
     return {
-        (test.name or str(test)): coverage_report(test, faults, size)
+        (test.name or str(test)): coverage_report(test, faults, size, kernel)
         for test in tests
     }
 
@@ -93,13 +105,15 @@ def dominates(
     second: MarchTest,
     faults: FaultList,
     size: int = DEFAULT_SIZE,
+    kernel: Optional[SimulationKernel] = None,
 ) -> bool:
     """True when ``first`` detects every case ``second`` detects while
     being no more complex."""
     if first.complexity > second.complexity:
         return False
+    kernel = kernel or get_default_kernel()
     for fault_case in faults.instances(size):
-        if detects_case(second, fault_case, size) and not detects_case(
+        if kernel.detects(second, fault_case, size) and not kernel.detects(
             first, fault_case, size
         ):
             return False
@@ -134,10 +148,13 @@ def minimal_certificate(
     faults: FaultList,
     size: int = 2,
     budget: Optional[int] = 200000,
+    kernel: Optional[SimulationKernel] = None,
 ) -> MinimalityCertificate:
     """Certify (within the canonical grammar and budget) that no March
     test shorter than ``test`` covers ``faults``."""
-    verify = make_verifier(faults.instances(size), size)
+    verify = (kernel or get_default_kernel()).verifier(
+        faults.instances(size), size
+    )
     if not verify(test):
         raise ValueError("the test does not cover the fault list itself")
     stats = SearchStats()

@@ -22,6 +22,7 @@ from .core.config import GeneratorConfig
 from .core.generator import MarchTestGenerator
 from .faults.faultlist import FaultList
 from .faults.library import MODEL_REGISTRY
+from .kernel import BACKENDS, SimulationKernel
 from .march.catalog import CATALOG, by_name
 from .march.test import MarchTest, parse_march
 
@@ -38,6 +39,16 @@ def _fault_list(names: List[str]) -> FaultList:
     return FaultList.from_names(*names)
 
 
+def _kernel(args: argparse.Namespace) -> SimulationKernel:
+    """The simulation kernel for one CLI invocation."""
+    return SimulationKernel(backend=getattr(args, "backend", "serial"))
+
+
+def _maybe_print_stats(args: argparse.Namespace, kernel: SimulationKernel) -> None:
+    if getattr(args, "sim_stats", False):
+        print(f"simulation {kernel.stats}")
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     config = GeneratorConfig(
         equivalence_enumeration=not args.no_equivalence,
@@ -45,17 +56,22 @@ def cmd_generate(args: argparse.Namespace) -> int:
         tighten=not args.no_tighten,
         polish=not args.no_polish,
         selection_limit=args.selection_limit,
+        backend=args.backend,
     )
-    report = MarchTestGenerator(config).generate(_fault_list(args.faults))
+    generator = MarchTestGenerator(config)
+    report = generator.generate(_fault_list(args.faults))
     print(report.summary())
+    _maybe_print_stats(args, generator.kernel)
     return 0 if report.verified else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
-    report = coverage_report(test, faults, size=args.size)
+    kernel = _kernel(args)
+    report = coverage_report(test, faults, size=args.size, kernel=kernel)
     print(report)
+    _maybe_print_stats(args, kernel)
     return 0 if all(m.complete for m in report.models) else 1
 
 
@@ -106,10 +122,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
-    report = coverage_report(test, faults, size=args.size)
+    kernel = _kernel(args)
+    report = coverage_report(test, faults, size=args.size, kernel=kernel)
     print(report)
     cases = faults.instances(args.size)
-    cm = coverage_matrix(test, cases, args.size)
+    cm = coverage_matrix(test, cases, args.size, kernel=kernel)
     verdict = "non-redundant" if cm.is_non_redundant() else "redundant"
     print(f"covers all cases : {cm.covers_all}")
     print(f"block analysis   : {verdict}"
@@ -120,6 +137,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             cm.blocks[k].describe(cm.test) for k in redundant
         )
         print(f"redundant blocks : {blocks}")
+    _maybe_print_stats(args, kernel)
     return 0
 
 
@@ -128,13 +146,15 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
-    dictionary = build_dictionary_for(test, faults, args.size)
+    kernel = _kernel(args)
+    dictionary = build_dictionary_for(test, faults, args.size, kernel=kernel)
     print(f"fault cases        : {dictionary.case_count}")
     print(f"distinct syndromes : {dictionary.syndromes}")
     print(f"unique resolution  : {dictionary.resolution() * 100:.0f}%")
     undetected = dictionary.undetected_cases()
     if undetected:
         print(f"undetected         : {', '.join(undetected)}")
+    _maybe_print_stats(args, kernel)
     return 0 if not undetected else 1
 
 
@@ -181,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_kernel_options(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--backend", choices=sorted(BACKENDS), default="serial",
+            help="simulation kernel execution backend",
+        )
+        command_parser.add_argument(
+            "--sim-stats", action="store_true",
+            help="print the kernel's cache hit/miss statistics",
+        )
+
     gen = sub.add_parser("generate", help="generate a March test")
     gen.add_argument("faults", nargs="+", help="fault model names (e.g. SAF TF)")
     gen.add_argument("--no-equivalence", action="store_true",
@@ -190,12 +220,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--no-tighten", action="store_true")
     gen.add_argument("--no-polish", action="store_true")
     gen.add_argument("--selection-limit", type=int, default=128)
+    add_kernel_options(gen)
     gen.set_defaults(fn=cmd_generate)
 
     sim = sub.add_parser("simulate", help="fault-simulate a March test")
     sim.add_argument("test", help="catalog name or March notation")
     sim.add_argument("faults", nargs="+")
     sim.add_argument("--size", type=int, default=3)
+    add_kernel_options(sim)
     sim.set_defaults(fn=cmd_simulate)
 
     cat = sub.add_parser("catalog", help="list known March tests")
@@ -213,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("test")
     analyze.add_argument("faults", nargs="+")
     analyze.add_argument("--size", type=int, default=3)
+    add_kernel_options(analyze)
     analyze.set_defaults(fn=cmd_analyze)
 
     diag = sub.add_parser(
@@ -221,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("test")
     diag.add_argument("faults", nargs="+")
     diag.add_argument("--size", type=int, default=3)
+    add_kernel_options(diag)
     diag.set_defaults(fn=cmd_diagnose)
 
     export = sub.add_parser("export", help="compile a test to a program")

@@ -53,6 +53,12 @@ class GeneratorConfig:
         Element-count cap of the polish search grammar.
     weight_mode:
         TPG edge cost: ``"hamming"`` (f.4.1) or ``"uniform"`` (ablation).
+    backend:
+        Execution backend of the simulation kernel: ``"serial"``
+        (default) or ``"process"`` (multiprocessing over fault-case
+        chunks).  See :mod:`repro.kernel.backends`.
+    sim_cache_size:
+        Bound of the kernel's fault-dictionary cache (LRU beyond it).
     """
 
     cells: Tuple[str, ...] = ("i", "j")
@@ -70,3 +76,5 @@ class GeneratorConfig:
     polish_budget: int = 30000
     polish_max_elements: int = 7
     weight_mode: str = "hamming"
+    backend: str = "serial"
+    sim_cache_size: int = 1_000_000

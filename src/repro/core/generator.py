@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..atsp.solver import solve_path
 from ..faults.faultlist import FaultList
+from ..kernel import SimulationKernel
 from ..march.builder import build_march, sequential_march
 from ..march.catalog import CATALOG
 from ..march.test import MarchTest
@@ -35,7 +36,7 @@ from ..sequence.gts import GlobalTestSequence, build_gts
 from ..sequence.rewrite import reorder_and_minimize
 from ..simulator.coverage import is_non_redundant
 from .config import GeneratorConfig
-from .optimize import Verifier, make_verifier, optimize
+from .optimize import Verifier, optimize
 from .report import GenerationReport
 from .selection import Selection, enumerate_selections, selection_space_size
 
@@ -67,8 +68,16 @@ class MarchTestGenerator:
     4
     """
 
-    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        kernel: Optional[SimulationKernel] = None,
+    ) -> None:
         self.config = config or GeneratorConfig()
+        #: All fault simulation -- search-loop verification, final
+        #: confirmation, non-redundancy analysis -- goes through this
+        #: kernel, so verdicts are memoized across pipeline stages.
+        self.kernel = kernel or SimulationKernel.from_config(self.config)
 
     # -- public API -------------------------------------------------------------
 
@@ -85,7 +94,7 @@ class MarchTestGenerator:
             raise GenerationError(
                 "the fault list has no behavioural instances to verify against"
             )
-        verify = make_verifier(cases, config.verify_size)
+        verify = self.kernel.verifier(cases, config.verify_size)
 
         space = selection_space_size(classes)
         limit = config.selection_limit if config.equivalence_enumeration else 1
@@ -236,13 +245,16 @@ class MarchTestGenerator:
     ) -> GenerationReport:
         config = self.config
         confirm_cases = faults.instances(config.confirm_size)
-        confirm_verify = make_verifier(confirm_cases, config.confirm_size)
+        confirm_verify = self.kernel.verifier(
+            confirm_cases, config.confirm_size
+        )
         verified = confirm_verify(best.test)
 
         non_redundant: Optional[bool] = None
         if config.check_redundancy and verified:
             non_redundant = is_non_redundant(
-                best.test, confirm_cases, config.confirm_size
+                best.test, confirm_cases, config.confirm_size,
+                kernel=self.kernel,
             )
 
         equivalent = _known_equivalent(

@@ -14,38 +14,27 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..faults.instances import FaultCase
+from ..kernel import SimulationKernel, get_default_kernel
 from ..march.builder import normalize_expectations
 from ..march.element import AddressOrder, DelayElement, MarchElement
 from ..march.test import MarchTest
-from ..simulator.engine import is_well_formed
-from ..simulator.faultsim import detects_case
 
 Element = Union[MarchElement, DelayElement]
 Verifier = Callable[[MarchTest], bool]
 
 
 def make_verifier(
-    cases: Sequence[FaultCase], size: int
+    cases: Sequence[FaultCase],
+    size: int,
+    kernel: Optional[SimulationKernel] = None,
 ) -> Verifier:
     """A predicate: well-formed and detects every fault case.
 
-    Fail-fast: the case that most recently rejected a candidate is
-    tried first on the next call, so hopeless candidates die on their
-    first simulation (this dominates the exhaustive-search runtime).
+    Fail-fast with fault-dictionary caching; the implementation is
+    :meth:`repro.kernel.SimulationKernel.verifier` (the process-wide
+    kernel unless one is supplied).
     """
-    ordered: List[FaultCase] = list(cases)
-
-    def verify(test: MarchTest) -> bool:
-        if not is_well_formed(test, size):
-            return False
-        for position, fault_case in enumerate(ordered):
-            if not detects_case(test, fault_case, size):
-                if position:
-                    ordered.insert(0, ordered.pop(position))
-                return False
-        return True
-
-    return verify
+    return (kernel or get_default_kernel()).verifier(cases, size)
 
 
 def _metric(test: MarchTest) -> Tuple[int, int]:

@@ -14,31 +14,35 @@ a dictionary describes a deterministic test program on actual hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .faults.faultlist import FaultList
 from .faults.instances import FaultCase
+from .kernel import SimulationKernel, get_default_kernel
+from .kernel.kernel import Failure, Syndrome
 from .march.test import MarchTest
 from .memory.array import MemoryArray
-from .simulator.coverage import concrete_realization
-from .simulator.engine import run_march
 
-#: One failing observation: (element, op, address, observed value).
-Failure = Tuple[int, int, int, object]
-Syndrome = FrozenSet[Failure]
+__all__ = [
+    "Failure",
+    "Syndrome",
+    "FaultDictionary",
+    "syndrome_of",
+    "build_dictionary",
+    "build_dictionary_for",
+    "diagnose_memory",
+]
 
 
 def syndrome_of(
-    test: MarchTest, make_instance, size: int
+    test: MarchTest,
+    make_instance,
+    size: int,
+    kernel: Optional[SimulationKernel] = None,
 ) -> Syndrome:
     """The failing-read signature of one fault instance."""
-    concrete = concrete_realization(test, up=True)
-    memory = MemoryArray(size, fault=make_instance())
-    run = run_march(concrete, memory)
-    return frozenset(
-        (r.element_index, r.op_index, r.address, r.actual)
-        for r in run.reads
-        if r.mismatch
+    return (kernel or get_default_kernel()).syndrome_of(
+        test, make_instance, size
     )
 
 
@@ -82,30 +86,40 @@ def build_dictionary(
     test: MarchTest,
     cases: Sequence[FaultCase],
     size: int = 4,
+    kernel: Optional[SimulationKernel] = None,
 ) -> FaultDictionary:
-    """Simulate every case and index it by syndrome."""
+    """Simulate every case and index it by syndrome.
+
+    Syndromes come from the kernel's cached ``"syn"`` domain, so
+    rebuilding a dictionary (or building it for overlapping fault
+    lists) reuses prior simulation.
+    """
+    kernel = kernel or get_default_kernel()
     dictionary = FaultDictionary(test, size)
     for fault_case in cases:
-        signature = syndrome_of(test, fault_case.variants[0], size)
+        signature = kernel.syndrome(test, fault_case, size)
         dictionary.entries.setdefault(signature, []).append(fault_case.name)
     return dictionary
 
 
 def build_dictionary_for(
-    test: MarchTest, faults: FaultList, size: int = 4
+    test: MarchTest,
+    faults: FaultList,
+    size: int = 4,
+    kernel: Optional[SimulationKernel] = None,
 ) -> FaultDictionary:
-    return build_dictionary(test, faults.instances(size), size)
+    return build_dictionary(test, faults.instances(size), size, kernel)
 
 
 def diagnose_memory(
     test: MarchTest,
     memory: MemoryArray,
     dictionary: FaultDictionary,
+    kernel: Optional[SimulationKernel] = None,
 ) -> Tuple[str, ...]:
     """Run the dictionary's test on a (possibly faulty) memory and
     return the matching candidates."""
-    concrete = concrete_realization(test, up=True)
-    run = run_march(concrete, memory)
+    run = (kernel or get_default_kernel()).run_concrete(test, memory)
     syndrome = frozenset(
         (r.element_index, r.op_index, r.address, r.actual)
         for r in run.reads

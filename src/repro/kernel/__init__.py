@@ -1,0 +1,48 @@
+"""Unified simulation kernel: cached, batched, backend-pluggable.
+
+See :mod:`repro.kernel.kernel` for the architecture overview and the
+repository README for the cache-key and backend-extension guides.
+"""
+
+from .backends import (
+    BACKENDS,
+    DetectTask,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+    worst_case_detects,
+)
+from .cache import FaultDictionaryCache, KernelStats, SimKey
+from .kernel import (
+    DEFAULT_SIZE,
+    SimulationKernel,
+    canonical_signature,
+    concrete_realization,
+    get_default_kernel,
+    set_default_kernel,
+)
+from .pool import MemoryPool
+from .report import EmptyFaultListWarning, SimulationReport
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_SIZE",
+    "DetectTask",
+    "EmptyFaultListWarning",
+    "ExecutionBackend",
+    "FaultDictionaryCache",
+    "KernelStats",
+    "MemoryPool",
+    "ProcessBackend",
+    "SerialBackend",
+    "SimKey",
+    "SimulationKernel",
+    "SimulationReport",
+    "canonical_signature",
+    "concrete_realization",
+    "get_default_kernel",
+    "resolve_backend",
+    "set_default_kernel",
+    "worst_case_detects",
+]

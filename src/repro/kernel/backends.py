@@ -1,0 +1,218 @@
+"""Pluggable execution backends for the simulation kernel.
+
+A backend executes a batch of *detection tasks* -- ``(test, fault
+case, size)`` triples whose verdicts are not yet in the kernel's fault
+dictionary -- and returns one worst-case boolean per task.  The kernel
+never cares how: serially in-process (the default), or fanned out over
+worker processes.
+
+Adding a backend
+----------------
+Subclass :class:`ExecutionBackend`, implement ``detect_batch``, and
+register the class in :data:`BACKENDS` under its ``name``; it is then
+selectable through ``GeneratorConfig(backend=...)`` and the CLI's
+``--backend`` flag.  ``detect_batch`` must preserve task order and must
+compute exactly the worst-case semantics of
+:func:`worst_case_detects` (every order variant x every behavioural
+variant must be caught).
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+import os
+import threading
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..faults.instances import FaultCase
+from ..march.test import MarchTest
+from ..simulator.engine import run_march
+from .pool import MemoryPool
+
+
+@dataclass(frozen=True)
+class DetectTask:
+    """One unit of kernel work: does ``test`` detect ``case`` at ``size``?"""
+
+    test: MarchTest
+    case: FaultCase
+    size: int
+
+
+def worst_case_detects(
+    variants: Sequence[MarchTest],
+    factories: Sequence[Callable[[], object]],
+    size: int,
+    pool: MemoryPool,
+    active_reads: Optional[set] = None,
+) -> bool:
+    """The kernel's single source of truth for worst-case detection.
+
+    ``variants`` are the concrete order realizations of one test (the
+    caller hoists ``concrete_order_variants()`` out of its loops);
+    ``factories`` the behavioural variants of one fault case.  Evaluation
+    short-circuits on the first missed combination.
+    """
+    for variant in variants:
+        for make_instance in factories:
+            memory = pool.acquire(size, make_instance())
+            detected = run_march(
+                variant, memory, active_reads=active_reads
+            ).detected
+            pool.release(memory)
+            if not detected:
+                return False
+    return True
+
+
+class ExecutionBackend:
+    """Strategy interface: evaluate a batch of detection tasks."""
+
+    #: Registry key; also what ``--backend`` matches against.
+    name = "abstract"
+
+    def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any backend resources (processes, handles)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process evaluation with pooled memories (the default)."""
+
+    name = "serial"
+
+    def __init__(self, pool: Optional[MemoryPool] = None) -> None:
+        self.pool = pool or MemoryPool()
+
+    def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
+        return [
+            worst_case_detects(
+                task.test.concrete_order_variants(),
+                task.case.variants,
+                task.size,
+                self.pool,
+            )
+            for task in tasks
+        ]
+
+
+# -- process backend ----------------------------------------------------------
+#
+# Fault-case behavioural variants are closures (lambdas in the fault
+# library), which do not pickle.  The worker therefore receives only an
+# index; the task list itself is inherited through fork()ed address
+# space via this module-level slot, and each worker keeps its own
+# memory pool.  Two consequences:
+#
+# * the slot is process-global, so a lock serializes detect_batch
+#   across backend instances/threads -- otherwise one batch could fork
+#   workers that inherit another batch's task list;
+# * workers snapshot the slot at fork time, so the pool of workers
+#   cannot be reused across batches (a persistent pool would never see
+#   a new task list).  The per-batch fork cost is why MIN_BATCH exists
+#   and why ``process`` only pays off on large matrices.
+
+_FORK_TASKS: Sequence[DetectTask] = ()
+_FORK_LOCK = threading.Lock()
+_WORKER_POOL: Optional[MemoryPool] = None
+
+
+def _process_worker(index: int) -> bool:
+    global _WORKER_POOL
+    if _WORKER_POOL is None:
+        _WORKER_POOL = MemoryPool()
+    task = _FORK_TASKS[index]
+    return worst_case_detects(
+        task.test.concrete_order_variants(),
+        task.case.variants,
+        task.size,
+        _WORKER_POOL,
+    )
+
+
+class ProcessBackend(ExecutionBackend):
+    """Multiprocessing over fault-case chunks.
+
+    Tasks are sharded across ``processes`` workers (default: CPU
+    count).  Requires the ``fork`` start method -- behavioural variants
+    are closures that cannot cross a spawn boundary -- and warns, then
+    falls back to serial, where fork is unavailable.  Batches below
+    ``MIN_BATCH`` (and single-CPU hosts) fall back *silently*: that
+    path is hit constantly by the verifier's batch-of-one probes, so a
+    warning there would be noise, not signal.
+    """
+
+    name = "process"
+
+    #: Below this many tasks the fork+IPC overhead dominates.
+    MIN_BATCH = 8
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        pool: Optional[MemoryPool] = None,
+    ) -> None:
+        self.processes = processes or os.cpu_count() or 1
+        self._serial = SerialBackend(pool)
+
+    def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
+        if len(tasks) < self.MIN_BATCH or self.processes < 2:
+            return self._serial.detect_batch(tasks)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            warnings.warn(
+                "process backend needs the fork start method;"
+                " falling back to serial execution",
+                RuntimeWarning,
+            )
+            return self._serial.detect_batch(tasks)
+        global _FORK_TASKS
+        with _FORK_LOCK:
+            _FORK_TASKS = tuple(tasks)
+            try:
+                chunksize = max(1, len(tasks) // (self.processes * 4))
+                with context.Pool(self.processes) as workers:
+                    return workers.map(
+                        _process_worker, range(len(tasks)), chunksize
+                    )
+            finally:
+                _FORK_TASKS = ()
+
+
+BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None",
+    pool: Optional[MemoryPool] = None,
+) -> ExecutionBackend:
+    """Turn a backend name (or ready instance) into an instance.
+
+    The kernel's memory pool is shared with backends that accept one,
+    so serial evaluation and cache-miss fills recycle the same arrays.
+    """
+    if backend is None:
+        return SerialBackend(pool)
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {backend!r};"
+            f" known: {sorted(BACKENDS)}"
+        ) from None
+    # Pass the shared pool only to factories that declare it: probing
+    # with try/except TypeError would swallow genuine constructor
+    # errors and run side effects twice.
+    accepts_pool = "pool" in inspect.signature(factory).parameters
+    return factory(pool=pool) if accepts_pool else factory()

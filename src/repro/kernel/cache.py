@@ -1,0 +1,128 @@
+"""The kernel's fault-dictionary cache.
+
+Worst-case detection of a fault case by a March test is a pure function
+of (what the test does, which physical fault is injected, how many
+cells the memory has).  The cache memoizes those verdicts under a
+:class:`SimKey` so that every consumer layer -- generator verification,
+coverage analysis, comparative analysis, diagnosis, benchmarks --
+shares one fault dictionary instead of re-simulating from scratch.
+
+The cache is a bounded LRU: the exhaustive-search paths probe hundreds
+of thousands of throwaway candidates, and an unbounded dictionary would
+grow without limit over a long-lived kernel.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class SimKey:
+    """Identity of one memoized simulation verdict.
+
+    Attributes
+    ----------
+    signature:
+        Canonical test signature: the March notation of the test
+        (orders + operations), independent of the test's display name.
+    case:
+        The fault case name, e.g. ``"SA0@2"``.  Case names are the
+        canonical identity of a fault throughout the repository
+        (detection-matrix columns, simulation reports and syndrome
+        dictionaries are all keyed by them), so two cases sharing a
+        name are treated as the same fault and share verdicts; fault
+        libraries must keep names unique per (model, size).
+    size:
+        Memory size (number of cells) the simulation ran on.
+    domain:
+        Simulation domain discriminator: ``"sp"`` single-port detection,
+        ``"2p"`` two-port differential detection, ``"syn"`` diagnosis
+        syndromes.  Keeps verdicts from unrelated semantics apart even
+        when signatures collide textually.
+    """
+
+    signature: str
+    case: str
+    size: int
+    domain: str = "sp"
+
+
+@dataclass
+class KernelStats:
+    """Hit/miss counters of a kernel's fault-dictionary cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    batches: int = 0
+    stores: int = field(default=0, repr=False)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.batches = self.stores = 0
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses"
+            f" ({self.hit_rate * 100:.1f}% hit rate,"
+            f" {self.evictions} evictions)"
+        )
+
+
+class FaultDictionaryCache:
+    """A bounded LRU mapping :class:`SimKey` to simulation verdicts."""
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self.stats = KernelStats()
+        self._entries: "OrderedDict[SimKey, Any]" = OrderedDict()
+
+    def get(self, key: SimKey, default: Any = None) -> Any:
+        """Look up ``key``, counting the hit or miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: SimKey) -> bool:
+        """True when ``key`` is cached (no stat or LRU side effects)."""
+        return key in self._entries
+
+    def put(self, key: SimKey, value: Any) -> None:
+        """Store a verdict, evicting the least recently used on overflow."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: SimKey) -> bool:
+        return key in self._entries
+
+    def snapshot(self) -> Dict[SimKey, Any]:
+        """A shallow copy of the current entries (diagnostics)."""
+        return dict(self._entries)

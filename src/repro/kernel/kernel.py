@@ -1,0 +1,405 @@
+"""The unified simulation kernel.
+
+:class:`SimulationKernel` is the single entry point for all fault
+simulation in the repository.  Every consumer layer -- the generator's
+verifier, coverage/non-redundancy analysis, comparative analysis,
+diagnosis dictionaries, the two-port search and the benchmark harness
+-- routes its (test, fault case) detection questions through one
+kernel, which
+
+* memoizes worst-case verdicts in a bounded fault-dictionary cache
+  keyed by :class:`~repro.kernel.cache.SimKey` (canonical test
+  signature, case name, memory size, domain), with hit/miss stats;
+* hoists ``concrete_order_variants()`` out of all inner loops and
+  recycles :class:`~repro.memory.array.MemoryArray` instances through a
+  :class:`~repro.kernel.pool.MemoryPool` instead of reallocating;
+* dispatches batched cache misses to a pluggable
+  :class:`~repro.kernel.backends.ExecutionBackend` (``serial`` or
+  ``process``), selectable via ``GeneratorConfig(backend=...)`` or the
+  CLI ``--backend`` flag.
+
+Results are bit-identical to the legacy per-call paths; see
+``tests/kernel/`` for the equivalence properties.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..faults.faultlist import FaultList
+from ..faults.instances import FaultCase
+from ..march.element import AddressOrder, MarchElement
+from ..march.test import MarchTest
+from ..memory.array import MemoryArray
+from ..simulator.engine import MarchRun, is_well_formed, run_march
+from .backends import (
+    DetectTask,
+    ExecutionBackend,
+    resolve_backend,
+    worst_case_detects,
+)
+from .cache import FaultDictionaryCache, KernelStats, SimKey
+from .pool import MemoryPool
+from .report import SimulationReport, warn_if_empty
+
+#: Memory size used for validation.  Three cells exercise every
+#: aggressor/victim ordering with a bystander cell in all positions.
+DEFAULT_SIZE = 3
+
+Verifier = Callable[[MarchTest], bool]
+
+#: One failing observation: (element, op, address, observed value).
+Failure = Tuple[int, int, int, object]
+Syndrome = FrozenSet[Failure]
+
+
+def canonical_signature(test: Union[MarchTest, object]) -> str:
+    """The cache identity of a test: its notation, not its name.
+
+    ``str`` of a March test renders orders and operations only, so two
+    differently-named but operationally identical tests share cached
+    verdicts.  Works for any test type whose ``__str__`` is canonical
+    (single-port :class:`MarchTest` and the two-port ``March2PTest``).
+    """
+    return str(test)
+
+
+class SimulationKernel:
+    """Cached, batched, backend-pluggable fault simulation.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (``"serial"``/``"process"``), a ready
+        :class:`ExecutionBackend`, or ``None`` for serial.
+    cache_size:
+        Bound of the fault-dictionary cache (LRU beyond it).
+    pool:
+        Optional shared :class:`MemoryPool`; one is created per kernel
+        by default.
+
+    >>> from repro.march.catalog import MATS
+    >>> from repro.faults import FaultList
+    >>> kernel = SimulationKernel()
+    >>> kernel.simulate_fault_list(MATS, FaultList.from_names("SAF")).complete
+    True
+    >>> kernel.stats.misses > 0
+    True
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, ExecutionBackend, None] = None,
+        cache_size: int = 1_000_000,
+        pool: Optional[MemoryPool] = None,
+    ) -> None:
+        self.pool = pool or MemoryPool()
+        self.backend = resolve_backend(backend, self.pool)
+        self.cache = FaultDictionaryCache(cache_size)
+
+    @classmethod
+    def from_config(cls, config) -> "SimulationKernel":
+        """Build a kernel from a :class:`~repro.core.config.GeneratorConfig`."""
+        return cls(
+            backend=getattr(config, "backend", None),
+            cache_size=getattr(config, "sim_cache_size", 1_000_000),
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def stats(self) -> KernelStats:
+        """Hit/miss/eviction counters of the fault dictionary."""
+        return self.cache.stats
+
+    def clear(self) -> None:
+        """Drop every cached verdict and reset the stats."""
+        self.cache.clear()
+        self.stats.reset()
+
+    # -- single-detection API ---------------------------------------------------
+
+    def detects(
+        self, test: MarchTest, case: FaultCase, size: int = DEFAULT_SIZE
+    ) -> bool:
+        """Worst-case detection of one fault case (cached).
+
+        Misses go through the configured backend as a batch of one, so
+        custom execution strategies see every probe; note that
+        ``process`` deliberately falls back to serial below its
+        minimum batch size, so single-probe consumers (the generator's
+        verifier, ``dominates``) gain from it only via the shared
+        cache, not from parallelism.
+        """
+        key = SimKey(canonical_signature(test), case.name, size)
+        verdict = self.cache.get(key)
+        if verdict is None:
+            verdict = self.backend.detect_batch(
+                [DetectTask(test, case, size)]
+            )[0]
+            self.cache.put(key, verdict)
+        return verdict
+
+    def detects_with_active_reads(
+        self,
+        test: MarchTest,
+        factories: Sequence[Callable[[], object]],
+        active: Set[Tuple[int, int]],
+        size: int = DEFAULT_SIZE,
+    ) -> bool:
+        """Worst-case detection with only ``active`` reads verifying.
+
+        Supports the Coverage Matrix construction (Section 6): reads
+        outside ``active`` still execute but do not verify.  Uncached
+        (the (block, column) grid rarely repeats) but pooled and
+        variant-hoisted.
+        """
+        return worst_case_detects(
+            test.concrete_order_variants(),
+            factories,
+            size,
+            self.pool,
+            active_reads=active,
+        )
+
+    # -- batched APIs -----------------------------------------------------------
+
+    def simulate(
+        self,
+        test: MarchTest,
+        cases: Sequence[FaultCase],
+        size: int = DEFAULT_SIZE,
+    ) -> SimulationReport:
+        """Simulate every fault case against one test."""
+        return self.simulate_many([test], cases, size)[0]
+
+    def simulate_many(
+        self,
+        tests: Sequence[MarchTest],
+        cases: Sequence[FaultCase],
+        size: int = DEFAULT_SIZE,
+    ) -> List[SimulationReport]:
+        """Batched simulation: one report per test, in input order.
+
+        Cache hits are answered from the fault dictionary; the misses
+        are evaluated in one backend batch (chunkable across worker
+        processes) and stored.
+        """
+        warn_if_empty(cases)
+        verdicts = self._verdicts(tests, cases, size)
+        reports = []
+        for test in tests:
+            signature = canonical_signature(test)
+            report = SimulationReport(test, size)
+            for case in cases:
+                if verdicts[(signature, case.name)]:
+                    report.detected.append(case.name)
+                else:
+                    report.missed.append(case.name)
+            reports.append(report)
+        return reports
+
+    def simulate_fault_list(
+        self,
+        test: MarchTest,
+        faults: FaultList,
+        size: int = DEFAULT_SIZE,
+    ) -> SimulationReport:
+        """Simulate all behavioural instances of a fault list."""
+        return self.simulate(test, faults.instances(size), size)
+
+    def detection_matrix(
+        self,
+        tests: Sequence[MarchTest],
+        faults: Union[FaultList, Sequence[FaultCase]],
+        size: int = DEFAULT_SIZE,
+    ) -> Dict[str, Dict[str, bool]]:
+        """Cross table: test name -> fault case name -> detected?
+
+        Accepts a :class:`FaultList` (instances are derived at ``size``)
+        or an explicit fault-case sequence.
+        """
+        cases = (
+            faults.instances(size)
+            if isinstance(faults, FaultList)
+            else tuple(faults)
+        )
+        warn_if_empty(cases)
+        verdicts = self._verdicts(tests, cases, size)
+        matrix: Dict[str, Dict[str, bool]] = {}
+        for test in tests:
+            signature = canonical_signature(test)
+            matrix[test.name or str(test)] = {
+                case.name: verdicts[(signature, case.name)] for case in cases
+            }
+        return matrix
+
+    def _verdicts(
+        self,
+        tests: Sequence[MarchTest],
+        cases: Sequence[FaultCase],
+        size: int,
+    ) -> Dict[Tuple[str, str], bool]:
+        """Resolve every (test, case) pair, filling misses in one batch."""
+        verdicts: Dict[Tuple[str, str], bool] = {}
+        pending: List[DetectTask] = []
+        pending_keys: List[SimKey] = []
+        queued: Set[Tuple[str, str]] = set()
+        for test in tests:
+            signature = canonical_signature(test)
+            for case in cases:
+                pair = (signature, case.name)
+                if pair in verdicts or pair in queued:
+                    continue
+                key = SimKey(signature, case.name, size)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    verdicts[pair] = cached
+                else:
+                    queued.add(pair)
+                    pending.append(DetectTask(test, case, size))
+                    pending_keys.append(key)
+        if pending:
+            self.stats.batches += 1
+            results = self.backend.detect_batch(pending)
+            for key, task, verdict in zip(pending_keys, pending, results):
+                self.cache.put(key, verdict)
+                verdicts[(key.signature, task.case.name)] = verdict
+        return verdicts
+
+    # -- generator-facing verification -----------------------------------------
+
+    def verifier(
+        self, cases: Sequence[FaultCase], size: int
+    ) -> Verifier:
+        """A predicate: well-formed and detects every fault case.
+
+        Fail-fast: the case that most recently rejected a candidate is
+        tried first on the next call, so hopeless candidates die on
+        their first simulation (this dominates the exhaustive-search
+        runtime).  Verdicts go through the kernel cache.
+        """
+        ordered: List[FaultCase] = list(cases)
+
+        def verify(test: MarchTest) -> bool:
+            if not is_well_formed(test, size):
+                return False
+            for position, fault_case in enumerate(ordered):
+                if not self.detects(test, fault_case, size):
+                    if position:
+                        ordered.insert(0, ordered.pop(position))
+                    return False
+            return True
+
+        return verify
+
+    # -- diagnosis --------------------------------------------------------------
+
+    def syndrome(
+        self, test: MarchTest, case: FaultCase, size: int
+    ) -> Syndrome:
+        """The failing-read signature of a fault case (cached).
+
+        Diagnosis semantics: one concrete realization (ANY resolved
+        ascending, :func:`concrete_realization`) and the case's first
+        behavioural variant -- a fault dictionary describes a
+        deterministic program on real hardware.
+        """
+        key = SimKey(canonical_signature(test), case.name, size, domain="syn")
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        syndrome = self.syndrome_of(test, case.variants[0], size)
+        self.cache.put(key, syndrome)
+        return syndrome
+
+    def syndrome_of(
+        self, test: MarchTest, make_instance: Callable[[], object], size: int
+    ) -> Syndrome:
+        """Uncached syndrome of one fault instance factory (pooled)."""
+        concrete = concrete_realization(test)
+        memory = self.pool.acquire(size, make_instance())
+        run = run_march(concrete, memory)
+        self.pool.release(memory)
+        return frozenset(
+            (r.element_index, r.op_index, r.address, r.actual)
+            for r in run.reads
+            if r.mismatch
+        )
+
+    def run_concrete(self, test: MarchTest, memory: MemoryArray) -> MarchRun:
+        """Run the ascending realization of ``test`` on a given memory
+        (diagnosing actual hardware state, so never cached)."""
+        return run_march(concrete_realization(test), memory)
+
+    # -- two-port domain --------------------------------------------------------
+
+    def detects_2p(self, test, case, size: int = DEFAULT_SIZE) -> bool:
+        """Worst-case two-port differential detection (cached).
+
+        ``test`` is a :class:`~repro.multiport.march2p.March2PTest`;
+        evaluation delegates to the differential simulator but verdicts
+        share this kernel's fault dictionary under the ``"2p"`` domain.
+        """
+        from ..multiport.march2p import detects_weak_case
+
+        key = SimKey(canonical_signature(test), case.name, size, domain="2p")
+        verdict = self.cache.get(key)
+        if verdict is None:
+            verdict = detects_weak_case(test, case, size)
+            self.cache.put(key, verdict)
+        return verdict
+
+
+def concrete_realization(test: MarchTest, up: bool = True) -> MarchTest:
+    """Resolve every ANY order to a concrete direction.
+
+    The single definition shared by the diagnosis semantics above and
+    the Coverage Matrix construction
+    (:func:`repro.simulator.coverage.concrete_realization` delegates
+    here): an ``ANY`` element detects under *either* order, so per-block
+    coverage and syndrome signatures are only meaningful once an order
+    is fixed.
+    """
+    order = AddressOrder.UP if up else AddressOrder.DOWN
+    elements = tuple(
+        e.with_order(order)
+        if isinstance(e, MarchElement) and e.order is AddressOrder.ANY
+        else e
+        for e in test.elements
+    )
+    return MarchTest(elements, test.name)
+
+
+# -- module-level default kernel ------------------------------------------------
+
+_DEFAULT_KERNEL: Optional[SimulationKernel] = None
+
+
+def get_default_kernel() -> SimulationKernel:
+    """The process-wide kernel behind the legacy convenience functions.
+
+    Consumers that want isolation (their own cache/backend) construct a
+    :class:`SimulationKernel` directly; the module-level functions of
+    :mod:`repro.simulator.faultsim` and friends share this one.
+    """
+    global _DEFAULT_KERNEL
+    if _DEFAULT_KERNEL is None:
+        _DEFAULT_KERNEL = SimulationKernel()
+    return _DEFAULT_KERNEL
+
+
+def set_default_kernel(kernel: Optional[SimulationKernel]) -> None:
+    """Replace (or with ``None``, reset) the process-wide kernel."""
+    global _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = kernel

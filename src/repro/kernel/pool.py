@@ -1,0 +1,47 @@
+"""Pooled :class:`~repro.memory.array.MemoryArray` instances.
+
+The legacy simulation paths allocated a fresh ``MemoryArray`` (plus its
+backing list) for every (order-variant, fault-variant) pair -- millions
+of short-lived objects over one generator run.  The pool keeps one
+free-list per memory size and recycles arrays through
+:meth:`MemoryArray.reset`, which restores the exact
+freshly-constructed state (all cells non-initialized, fault installed,
+trace log empty).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..memory.array import FaultInstance, MemoryArray
+
+
+class MemoryPool:
+    """A per-size free list of reusable memory arrays."""
+
+    def __init__(self, max_per_size: int = 32) -> None:
+        self.max_per_size = max_per_size
+        self._free: Dict[int, List[MemoryArray]] = {}
+        self.allocations = 0
+        self.reuses = 0
+
+    def acquire(self, size: int, fault: FaultInstance = None) -> MemoryArray:
+        """A memory of ``size`` cells with ``fault`` installed."""
+        free = self._free.get(size)
+        if free:
+            self.reuses += 1
+            return free.pop().reset(fault)
+        self.allocations += 1
+        memory = MemoryArray(size)
+        if fault is not None:
+            memory.fault = fault
+        return memory
+
+    def release(self, memory: MemoryArray) -> None:
+        """Return ``memory`` to the pool for later reuse."""
+        free = self._free.setdefault(memory.size, [])
+        if len(free) < self.max_per_size:
+            free.append(memory)
+
+    def clear(self) -> None:
+        self._free.clear()

@@ -69,7 +69,23 @@ class MarchTest:
 
         A test advertising ``⇕`` elements must detect its faults under
         *either* realization; the simulator checks all combinations.
+
+        The enumeration is memoized per instance (the test is frozen, so
+        the realization set can never change): simulating the same test
+        against many fault cases touches the variants once instead of
+        re-enumerating ``2**k`` permutations per case.
         """
+        cached = self.__dict__.get("_order_variants")
+        if cached is not None:
+            return cached
+        variants = self._enumerate_order_variants()
+        # Frozen dataclass: write the memo through __dict__ (allowed --
+        # field assignment is what __setattr__ blocks, and __eq__/__hash__
+        # only consider declared fields).
+        self.__dict__["_order_variants"] = variants
+        return variants
+
+    def _enumerate_order_variants(self) -> Tuple["MarchTest", ...]:
         variants: List[Tuple[Element, ...]] = [()]
         for elem in self.elements:
             if (

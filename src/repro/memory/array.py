@@ -113,6 +113,21 @@ class MemoryArray:
         """An immutable copy of the raw contents."""
         return tuple(self.raw)
 
+    def reset(self, fault: "FaultInstance" = None) -> "MemoryArray":
+        """Return the array to its freshly-constructed state.
+
+        Clears every cell back to non-initialized, installs ``fault``
+        (fault-free when omitted) and drops any trace log.  Used by the
+        simulation kernel to pool arrays across runs instead of
+        allocating a new one per (test, fault-instance) pair.
+        """
+        for address in range(self.size):
+            self.raw[address] = DASH
+        self.fault = fault if fault is not None else NullFaultInstance()
+        if self.log:
+            self.log.clear()
+        return self
+
     def _check_address(self, address: int) -> None:
         if not 0 <= address < self.size:
             raise IndexError(f"address {address} out of range [0, {self.size})")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence, Tuple
 
+from ..kernel import SimulationKernel, get_default_kernel
 from ..march.element import AddressOrder, MarchOp
 from .faults import weak_fault_cases
 from .march2p import (
@@ -25,7 +26,6 @@ from .march2p import (
     CycleOp,
     March2PElement,
     March2PTest,
-    detects_weak_case,
 )
 
 #: Companion options tried per op (None = port B idle).
@@ -120,13 +120,17 @@ def generate_march_2p(
     budget: Optional[int] = 200000,
     stats: Optional[Search2PStats] = None,
     cases: Optional[Sequence] = None,
+    kernel: Optional[SimulationKernel] = None,
 ) -> Optional[March2PTest]:
     """Minimal two-port March test covering all weak fault cases.
 
     Iterative deepening on cycle count; ``None`` when the bound or the
-    candidate budget is exhausted first.
+    candidate budget is exhausted first.  Differential detection runs
+    through the simulation kernel's two-port domain, so verdicts are
+    shared with any other consumer probing the same candidates.
     """
     stats = stats if stats is not None else Search2PStats()
+    kernel = kernel or get_default_kernel()
     targets = list(cases) if cases is not None else list(weak_fault_cases(size))
     # Fail-fast ordering, updated as cases reject candidates.
     for bound in range(2, max_complexity + 1):
@@ -144,7 +148,7 @@ def generate_march_2p(
                 return None
             ok = True
             for position, fault_case in enumerate(targets):
-                if not detects_weak_case(candidate, fault_case, size):
+                if not kernel.detects_2p(candidate, fault_case, size):
                     if position:
                         targets.insert(0, targets.pop(position))
                     ok = False

@@ -1,4 +1,11 @@
-"""Memory fault simulator and coverage analysis (paper, Section 6)."""
+"""Memory fault simulator and coverage analysis (paper, Section 6).
+
+The execution engine and set-cover helpers are eager imports; the
+:mod:`~repro.simulator.faultsim` and :mod:`~repro.simulator.coverage`
+re-exports resolve lazily (PEP 562) because those modules sit *above*
+:mod:`repro.kernel` -- the kernel imports the engine from this package,
+and an eager import here would close an import cycle.
+"""
 
 from .engine import (
     MarchRun,
@@ -8,21 +15,26 @@ from .engine import (
     is_well_formed,
     run_march,
 )
-from .faultsim import (
-    DEFAULT_SIZE,
-    SimulationReport,
-    detection_matrix,
-    detects_case,
-    simulate,
-    simulate_fault_list,
-)
-from .coverage import (
-    CoverageMatrix,
-    ElementaryBlock,
-    coverage_matrix,
-    elementary_blocks,
-)
 from .setcover import greedy_cover, is_exact_cover_needed, minimum_cover
+
+_FAULTSIM_NAMES = frozenset(
+    {
+        "DEFAULT_SIZE",
+        "SimulationReport",
+        "detection_matrix",
+        "detects_case",
+        "simulate",
+        "simulate_fault_list",
+    }
+)
+_COVERAGE_NAMES = frozenset(
+    {
+        "CoverageMatrix",
+        "ElementaryBlock",
+        "coverage_matrix",
+        "elementary_blocks",
+    }
+)
 
 __all__ = [
     "MarchRun",
@@ -45,3 +57,19 @@ __all__ = [
     "is_exact_cover_needed",
     "minimum_cover",
 ]
+
+
+def __getattr__(name):
+    if name in _FAULTSIM_NAMES:
+        from . import faultsim
+
+        return getattr(faultsim, name)
+    if name in _COVERAGE_NAMES:
+        from . import coverage
+
+        return getattr(coverage, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -19,11 +19,14 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..faults.instances import FaultCase
+from ..kernel import (
+    DEFAULT_SIZE,
+    SimulationKernel,
+    concrete_realization as _kernel_concrete_realization,
+    get_default_kernel,
+)
 from ..march.element import MarchElement
 from ..march.test import MarchTest
-from ..memory.array import MemoryArray
-from .engine import run_march
-from .faultsim import DEFAULT_SIZE
 from .setcover import is_exact_cover_needed, minimum_cover
 
 
@@ -110,6 +113,7 @@ def _detects_with_blocks(
     variants,
     active: Set[Tuple[int, int]],
     size: int,
+    kernel: Optional[SimulationKernel] = None,
 ) -> bool:
     """Worst-case detection with only the given blocks verifying.
 
@@ -117,14 +121,10 @@ def _detects_with_blocks(
     that keep their verification; all other reads still execute but do
     not verify, so machine behaviour is unchanged.  ``variants`` is a
     sequence of fault-instance factories that must all be caught.
+    Simulation runs on the kernel's pooled, variant-hoisted path.
     """
-    for order_variant in test.concrete_order_variants():
-        for make_instance in variants:
-            memory = MemoryArray(size, fault=make_instance())
-            run = run_march(order_variant, memory, active_reads=active)
-            if not run.detected:
-                return False
-    return True
+    kernel = kernel or get_default_kernel()
+    return kernel.detects_with_active_reads(test, variants, active, size)
 
 
 def _variant_columns(cases: Sequence[FaultCase]):
@@ -149,18 +149,11 @@ def concrete_realization(test: MarchTest, up: bool = True) -> MarchTest:
 
     The paper's Coverage Matrix is built over a concrete March test;
     an ``ANY`` element detects under *either* order, so per-block
-    coverage is only meaningful once an order is fixed.
+    coverage is only meaningful once an order is fixed.  Delegates to
+    the kernel's shared definition (also used for diagnosis syndromes)
+    so the two semantics can never drift apart.
     """
-    from ..march.element import AddressOrder, MarchElement
-
-    order = AddressOrder.UP if up else AddressOrder.DOWN
-    elements = tuple(
-        e.with_order(order)
-        if isinstance(e, MarchElement) and e.order is AddressOrder.ANY
-        else e
-        for e in test.elements
-    )
-    return MarchTest(elements, test.name)
+    return _kernel_concrete_realization(test, up)
 
 
 def coverage_matrix(
@@ -168,6 +161,7 @@ def coverage_matrix(
     cases: Sequence[FaultCase],
     size: int = DEFAULT_SIZE,
     realize_up: Optional[bool] = True,
+    kernel: Optional[SimulationKernel] = None,
 ) -> CoverageMatrix:
     """Build the Coverage Matrix of a test against fault cases.
 
@@ -175,6 +169,7 @@ def coverage_matrix(
     the analysis; pass ``None`` to keep the strict worst-case ANY
     semantics (blocks must detect under every realization alone).
     """
+    kernel = kernel or get_default_kernel()
     if realize_up is not None:
         test = concrete_realization(test, realize_up)
     blocks = elementary_blocks(test)
@@ -183,7 +178,7 @@ def coverage_matrix(
     for block in blocks:
         key = {(block.element_index, block.op_index)}
         row = tuple(
-            _detects_with_blocks(test, (factory,), key, size)
+            _detects_with_blocks(test, (factory,), key, size, kernel)
             for _, factory in columns
         )
         matrix.append(row)
@@ -199,6 +194,7 @@ def demotion_redundant_blocks(
     test: MarchTest,
     cases: Sequence[FaultCase],
     size: int = DEFAULT_SIZE,
+    kernel: Optional[SimulationKernel] = None,
 ) -> List[ElementaryBlock]:
     """Blocks whose verification can be dropped without losing coverage.
 
@@ -207,13 +203,15 @@ def demotion_redundant_blocks(
     detects every case in the worst case.  An empty result means every
     observation is load-bearing.
     """
+    kernel = kernel or get_default_kernel()
     blocks = elementary_blocks(test)
     all_keys = {(b.element_index, b.op_index) for b in blocks}
     redundant: List[ElementaryBlock] = []
     for block in blocks:
         active = all_keys - {(block.element_index, block.op_index)}
         if all(
-            _detects_with_blocks(test, fault_case.variants, active, size)
+            _detects_with_blocks(test, fault_case.variants, active, size,
+                                 kernel)
             for fault_case in cases
         ):
             redundant.append(block)
@@ -224,6 +222,7 @@ def is_non_redundant(
     test: MarchTest,
     cases: Sequence[FaultCase],
     size: int = DEFAULT_SIZE,
+    kernel: Optional[SimulationKernel] = None,
 ) -> bool:
     """True when no single observation can be demoted (Section 6)."""
-    return not demotion_redundant_blocks(test, cases, size)
+    return not demotion_redundant_blocks(test, cases, size, kernel)

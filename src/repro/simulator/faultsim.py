@@ -5,62 +5,42 @@ March test is run against each injected fault case; a case counts as
 detected only when **every** behavioural variant is detected under
 **every** realization of the test's ANY-order elements (worst-case
 semantics).
+
+Compatibility shim: the implementation lives in
+:mod:`repro.kernel` -- a process-wide :class:`SimulationKernel`
+memoizes verdicts, pools memories and batches work across pluggable
+backends.  These module-level functions keep the historical signatures
+and route through :func:`repro.kernel.get_default_kernel`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..faults.faultlist import FaultList
 from ..faults.instances import FaultCase
+from ..kernel import (
+    DEFAULT_SIZE,
+    SimulationReport,
+    get_default_kernel,
+)
 from ..march.test import MarchTest
-from ..memory.array import MemoryArray
-from .engine import run_march
 
-#: Memory size used for validation.  Three cells exercise every
-#: aggressor/victim ordering with a bystander cell in all positions.
-DEFAULT_SIZE = 3
+__all__ = [
+    "DEFAULT_SIZE",
+    "SimulationReport",
+    "detects_case",
+    "simulate",
+    "simulate_fault_list",
+    "detection_matrix",
+]
 
 
 def detects_case(
     test: MarchTest, fault_case: FaultCase, size: int = DEFAULT_SIZE
 ) -> bool:
     """True when the test detects the case in the worst case."""
-    for variant_test in test.concrete_order_variants():
-        for make_instance in fault_case.variants:
-            memory = MemoryArray(size, fault=make_instance())
-            if not run_march(variant_test, memory).detected:
-                return False
-    return True
-
-
-@dataclass
-class SimulationReport:
-    """Outcome of simulating a test against a set of fault cases."""
-
-    test: MarchTest
-    size: int
-    detected: List[str] = field(default_factory=list)
-    missed: List[str] = field(default_factory=list)
-
-    @property
-    def complete(self) -> bool:
-        return not self.missed
-
-    @property
-    def coverage(self) -> float:
-        total = len(self.detected) + len(self.missed)
-        if total == 0:
-            return 1.0
-        return len(self.detected) / total
-
-    def __str__(self) -> str:
-        return (
-            f"{self.test.name or self.test}: "
-            f"{len(self.detected)}/{len(self.detected) + len(self.missed)}"
-            f" fault cases detected"
-        )
+    return get_default_kernel().detects(test, fault_case, size)
 
 
 def simulate(
@@ -69,13 +49,7 @@ def simulate(
     size: int = DEFAULT_SIZE,
 ) -> SimulationReport:
     """Simulate every fault case and report detection."""
-    report = SimulationReport(test, size)
-    for fault_case in cases:
-        if detects_case(test, fault_case, size):
-            report.detected.append(fault_case.name)
-        else:
-            report.missed.append(fault_case.name)
-    return report
+    return get_default_kernel().simulate(test, cases, size)
 
 
 def simulate_fault_list(
@@ -84,7 +58,7 @@ def simulate_fault_list(
     size: int = DEFAULT_SIZE,
 ) -> SimulationReport:
     """Simulate all behavioural instances of a fault list."""
-    return simulate(test, faults.instances(size), size)
+    return get_default_kernel().simulate_fault_list(test, faults, size)
 
 
 def detection_matrix(
@@ -93,12 +67,4 @@ def detection_matrix(
     size: int = DEFAULT_SIZE,
 ) -> Dict[str, Dict[str, bool]]:
     """Cross table: test name -> fault case name -> detected?"""
-    cases = faults.instances(size)
-    out: Dict[str, Dict[str, bool]] = {}
-    for test in tests:
-        name = test.name or str(test)
-        out[name] = {
-            fault_case.name: detects_case(test, fault_case, size)
-            for fault_case in cases
-        }
-    return out
+    return get_default_kernel().detection_matrix(tests, faults, size)

@@ -1,0 +1,62 @@
+"""The pre-refactor simulation path, frozen as the single baseline.
+
+Both the kernel equivalence suite (``test_equivalence.py``) and the
+performance guard (``benchmarks/bench_kernel.py``) compare against
+*this* module, so there is exactly one definition of "legacy":
+variants re-enumerated per call (a fresh ``MarchTest`` instance
+defeats the per-instance memo) and a fresh ``MemoryArray`` allocated
+per (order-variant, fault-variant) pair.  Do not modernize it -- its
+job is to stay byte-for-byte equivalent to the seed implementation.
+"""
+
+from repro.kernel import SimulationReport
+from repro.march.test import MarchTest
+from repro.memory.array import MemoryArray
+from repro.simulator.engine import is_well_formed, run_march
+
+
+def legacy_detects_case(test, fault_case, size):
+    fresh = MarchTest(test.elements, test.name)
+    for variant_test in fresh.concrete_order_variants():
+        for make_instance in fault_case.variants:
+            memory = MemoryArray(size, fault=make_instance())
+            if not run_march(variant_test, memory).detected:
+                return False
+    return True
+
+
+def legacy_simulate(test, cases, size):
+    report = SimulationReport(test, size)
+    for fault_case in cases:
+        if legacy_detects_case(test, fault_case, size):
+            report.detected.append(fault_case.name)
+        else:
+            report.missed.append(fault_case.name)
+    return report
+
+
+def legacy_detection_matrix(tests, faults, size):
+    cases = faults.instances(size)
+    return {
+        (test.name or str(test)): {
+            fault_case.name: legacy_detects_case(test, fault_case, size)
+            for fault_case in cases
+        }
+        for test in tests
+    }
+
+
+def legacy_make_verifier(cases, size):
+    ordered = list(cases)
+
+    def verify(test):
+        if not is_well_formed(test, size):
+            return False
+        for position, fault_case in enumerate(ordered):
+            if not legacy_detects_case(test, fault_case, size):
+                if position:
+                    ordered.insert(0, ordered.pop(position))
+                return False
+        return True
+
+    return verify

@@ -1,0 +1,125 @@
+"""Kernel/legacy equivalence properties.
+
+The refactor's contract: :class:`SimulationKernel` must return results
+byte-identical to the pre-refactor per-call path.  The legacy path is
+reproduced verbatim below (fresh ``MemoryArray`` per (order-variant,
+fault-variant) pair, variants re-enumerated per call) and compared
+against the kernel over the full standard fault library at sizes 3-5.
+"""
+
+import pytest
+
+from legacy_reference import (
+    legacy_detection_matrix,
+    legacy_make_verifier,
+    legacy_simulate,
+)
+from repro.faults.faultlist import FaultList
+from repro.faults.library import MODEL_REGISTRY
+from repro.kernel import SimulationKernel
+from repro.march.catalog import MARCH_C_MINUS, MATS, MATS_PLUS_PLUS
+from repro.memory.array import MemoryArray
+from repro.simulator.engine import run_march
+
+TESTS = [MATS, MATS_PLUS_PLUS, MARCH_C_MINUS]
+SIZES = [3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def full_library():
+    return FaultList.from_names(*MODEL_REGISTRY)
+
+
+# -- equivalence properties ----------------------------------------------------
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("test", TESTS, ids=lambda t: t.name)
+def test_simulation_report_identical(test, size, full_library):
+    cases = full_library.instances(size)
+    kernel = SimulationKernel()
+    ours = kernel.simulate(test, cases, size)
+    reference = legacy_simulate(test, cases, size)
+    assert ours.detected == reference.detected
+    assert ours.missed == reference.missed
+    assert ours.size == reference.size
+    assert ours.coverage == reference.coverage
+    assert str(ours) == str(reference)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_detection_matrix_identical(size, full_library):
+    kernel = SimulationKernel()
+    ours = kernel.detection_matrix(TESTS, full_library, size)
+    reference = legacy_detection_matrix(TESTS, full_library, size)
+    assert ours == reference
+
+
+def test_warm_cache_results_stay_identical(full_library):
+    kernel = SimulationKernel()
+    cases = full_library.instances(3)
+    cold = kernel.simulate(MARCH_C_MINUS, cases, 3)
+    hits_before = kernel.stats.hits
+    warm = kernel.simulate(MARCH_C_MINUS, cases, 3)
+    assert warm.detected == cold.detected
+    assert warm.missed == cold.missed
+    assert kernel.stats.hits >= hits_before + len(cases)
+
+
+def test_verifier_agrees_with_legacy(full_library):
+    from repro.march.test import parse_march
+
+    cases = full_library.instances(3)
+    kernel_verify = SimulationKernel().verifier(cases, 3)
+    legacy_verify = legacy_make_verifier(cases, 3)
+    candidates = TESTS + [
+        parse_march("{any(w0); any(r0)}"),
+        parse_march("{up(w0); up(r0,w1); down(r1,w0); down(r0)}"),
+        parse_march("{any(w1); any(r0)}"),  # malformed: expects the wrong value
+    ]
+    for candidate in candidates:
+        assert kernel_verify(candidate) == legacy_verify(candidate), str(
+            candidate
+        )
+
+
+def test_syndromes_identical_to_legacy(full_library):
+    from repro.simulator.coverage import concrete_realization
+
+    kernel = SimulationKernel()
+    for fault_case in full_library.instances(4):
+        concrete = concrete_realization(MARCH_C_MINUS, up=True)
+        memory = MemoryArray(4, fault=fault_case.variants[0]())
+        run = run_march(concrete, memory)
+        reference = frozenset(
+            (r.element_index, r.op_index, r.address, r.actual)
+            for r in run.reads
+            if r.mismatch
+        )
+        assert kernel.syndrome(MARCH_C_MINUS, fault_case, 4) == reference
+        # Cached round trip returns the same object.
+        assert kernel.syndrome(MARCH_C_MINUS, fault_case, 4) == reference
+
+
+def test_two_port_domain_matches_differential_simulator():
+    from repro.multiport.faults import weak_fault_cases
+    from repro.multiport.march2p import MARCH_2PF, detects_weak_case
+
+    kernel = SimulationKernel()
+    for fault_case in weak_fault_cases(3):
+        expected = detects_weak_case(MARCH_2PF, fault_case, 3)
+        assert kernel.detects_2p(MARCH_2PF, fault_case, 3) == expected
+        assert kernel.detects_2p(MARCH_2PF, fault_case, 3) == expected
+    assert kernel.stats.hits > 0
+
+
+def test_coverage_matrix_unchanged_by_kernel_routing(full_library):
+    from repro.simulator.coverage import coverage_matrix
+
+    cases = FaultList.from_names("SAF", "TF").instances(3)
+    via_default = coverage_matrix(MATS_PLUS_PLUS, cases, 3)
+    via_fresh = coverage_matrix(
+        MATS_PLUS_PLUS, cases, 3, kernel=SimulationKernel()
+    )
+    assert via_default.matrix == via_fresh.matrix
+    assert via_default.case_names == via_fresh.case_names

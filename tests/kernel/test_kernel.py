@@ -1,0 +1,240 @@
+"""Unit tests of the kernel subsystem itself: cache, pool, backends."""
+
+import pytest
+
+from repro.faults.faultlist import FaultList
+from repro.kernel import (
+    BACKENDS,
+    EmptyFaultListWarning,
+    FaultDictionaryCache,
+    MemoryPool,
+    ProcessBackend,
+    SerialBackend,
+    SimKey,
+    SimulationKernel,
+    canonical_signature,
+    get_default_kernel,
+    resolve_backend,
+    set_default_kernel,
+)
+from repro.march.catalog import MARCH_C_MINUS, MATS, MSCAN
+from repro.march.test import parse_march
+from repro.memory.state import DASH
+
+
+@pytest.fixture(scope="module")
+def table3_list():
+    return FaultList.from_names("SAF", "TF", "ADF", "CFIN", "CFID")
+
+
+class TestCache:
+    def test_hit_miss_accounting(self, saf_list):
+        kernel = SimulationKernel()
+        cases = saf_list.instances(3)
+        kernel.simulate(MATS, cases, 3)
+        assert kernel.stats.misses == len(cases)
+        assert kernel.stats.hits == 0
+        kernel.simulate(MATS, cases, 3)
+        assert kernel.stats.hits == len(cases)
+        assert kernel.stats.hit_rate == 0.5
+        assert "hit rate" in str(kernel.stats)
+
+    def test_signature_shares_verdicts_across_names(self, saf_list):
+        # Same notation under a different display name: cached verdicts
+        # must be shared (the cache keys the *signature*, not the name).
+        kernel = SimulationKernel()
+        cases = saf_list.instances(3)
+        kernel.simulate(MATS, cases, 3)
+        renamed = MATS.renamed("SomethingElse")
+        kernel.simulate(renamed, cases, 3)
+        assert kernel.stats.hits == len(cases)
+
+    def test_lru_eviction(self):
+        cache = FaultDictionaryCache(max_entries=2)
+        k1, k2, k3 = (SimKey("t", f"c{i}", 3) for i in range(3))
+        cache.put(k1, True)
+        cache.put(k2, False)
+        cache.put(k3, True)
+        assert cache.stats.evictions == 1
+        assert k1 not in cache and k2 in cache and k3 in cache
+        assert cache.get(k2) is False
+
+    def test_clear_resets_everything(self, saf_list):
+        kernel = SimulationKernel()
+        kernel.simulate(MATS, saf_list.instances(3), 3)
+        assert len(kernel.cache) > 0
+        kernel.clear()
+        assert len(kernel.cache) == 0
+        assert kernel.stats.lookups == 0
+
+    def test_domains_do_not_collide(self):
+        cache = FaultDictionaryCache()
+        sp = SimKey("{x}", "c", 3, domain="sp")
+        syn = SimKey("{x}", "c", 3, domain="syn")
+        cache.put(sp, True)
+        assert syn not in cache
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ValueError):
+            FaultDictionaryCache(max_entries=0)
+
+
+class TestPool:
+    def test_reuse_and_reset(self):
+        pool = MemoryPool()
+        memory = pool.acquire(3)
+        memory.write(0, 1)
+        memory.write(2, 0)
+        pool.release(memory)
+        again = pool.acquire(3)
+        assert again is memory
+        assert again.snapshot() == (DASH, DASH, DASH)
+        assert pool.reuses == 1 and pool.allocations == 1
+
+    def test_sizes_are_segregated(self):
+        pool = MemoryPool()
+        small = pool.acquire(2)
+        pool.release(small)
+        big = pool.acquire(5)
+        assert big is not small and big.size == 5
+
+    def test_reset_installs_fault(self):
+        from repro.faults.instances import StuckAtInstance
+        from repro.memory.array import MemoryArray, NullFaultInstance
+
+        memory = MemoryArray(3, fault=StuckAtInstance(0, 1))
+        memory.write(0, 0)
+        assert memory.read(0) == 1
+        memory.reset()
+        assert isinstance(memory.fault, NullFaultInstance)
+        assert memory.snapshot() == (DASH, DASH, DASH)
+
+
+class TestBackends:
+    def test_registry_contains_both(self):
+        assert set(BACKENDS) >= {"serial", "process"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            SimulationKernel(backend="gpu")
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_process_backend_matches_serial(self, table3_list):
+        cases = table3_list.instances(3)
+        serial = SimulationKernel(backend="serial")
+        process = SimulationKernel(backend=ProcessBackend(processes=2))
+        tests = [MATS, MSCAN, MARCH_C_MINUS]
+        assert process.detection_matrix(
+            tests, cases, 3
+        ) == serial.detection_matrix(tests, cases, 3)
+
+    def test_small_batches_fall_back_to_serial(self, saf_list):
+        backend = ProcessBackend(processes=2)
+        kernel = SimulationKernel(backend=backend)
+        report = kernel.simulate(MATS, saf_list.instances(2)[:2], 2)
+        assert report.complete
+
+    def test_concurrent_process_batches_stay_isolated(self, table3_list):
+        # The fork-task handoff is a module-level slot; concurrent
+        # batches must not fork workers inheriting each other's tasks.
+        import threading
+
+        cases = table3_list.instances(3)
+        serial = SimulationKernel().detection_matrix([MARCH_C_MINUS], cases, 3)
+        results = {}
+
+        def run(tag):
+            kernel = SimulationKernel(backend=ProcessBackend(processes=2))
+            results[tag] = kernel.detection_matrix([MARCH_C_MINUS], cases, 3)
+
+        threads = [
+            threading.Thread(target=run, args=(tag,)) for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results["a"] == serial and results["b"] == serial
+
+
+class TestBatchedApis:
+    def test_simulate_many_preserves_order(self, table3_list):
+        kernel = SimulationKernel()
+        tests = [MSCAN, MATS, MARCH_C_MINUS]
+        reports = kernel.simulate_many(tests, table3_list.instances(3), 3)
+        assert [r.test for r in reports] == tests
+        assert reports[2].complete  # March C- covers Table 3 row 5
+
+    def test_detection_matrix_accepts_cases_or_faultlist(self, table3_list):
+        kernel = SimulationKernel()
+        via_list = kernel.detection_matrix([MATS], table3_list, 3)
+        via_cases = kernel.detection_matrix(
+            [MATS], table3_list.instances(3), 3
+        )
+        assert via_list == via_cases
+
+    def test_empty_cases_warn(self):
+        kernel = SimulationKernel()
+        with pytest.warns(EmptyFaultListWarning):
+            report = kernel.simulate(MATS, [], 3)
+        assert report.coverage == 0.0
+
+    def test_empty_detection_matrix_warns_too(self):
+        kernel = SimulationKernel()
+        with pytest.warns(EmptyFaultListWarning):
+            matrix = kernel.detection_matrix([MATS], [], 3)
+        assert matrix == {"MATS": {}}
+
+    def test_single_probes_go_through_the_backend(self, saf_list):
+        class CountingBackend(SerialBackend):
+            name = "counting"
+            calls = 0
+
+            def detect_batch(self, tasks):
+                CountingBackend.calls += 1
+                return super().detect_batch(tasks)
+
+        kernel = SimulationKernel(backend=CountingBackend())
+        case = saf_list.instances(3)[0]
+        assert kernel.detects(MATS, case, 3)
+        assert CountingBackend.calls == 1
+        kernel.detects(MATS, case, 3)  # cached: no second dispatch
+        assert CountingBackend.calls == 1
+
+
+class TestVariantMemo:
+    def test_variants_are_memoized_per_instance(self):
+        test = parse_march("{any(w0); any(r0,w1); any(r1)}")
+        first = test.concrete_order_variants()
+        assert test.concrete_order_variants() is first
+        assert len(first) == 8
+
+    def test_fresh_instances_get_fresh_memos(self):
+        test = parse_march("{any(w0); any(r0)}")
+        clone = parse_march("{any(w0); any(r0)}")
+        assert test == clone
+        assert test.concrete_order_variants() is not (
+            clone.concrete_order_variants()
+        )
+
+
+class TestDefaultKernel:
+    def test_default_kernel_is_process_wide(self):
+        assert get_default_kernel() is get_default_kernel()
+
+    def test_default_kernel_can_be_swapped(self):
+        original = get_default_kernel()
+        replacement = SimulationKernel()
+        try:
+            set_default_kernel(replacement)
+            assert get_default_kernel() is replacement
+        finally:
+            set_default_kernel(original)
+
+    def test_canonical_signature_ignores_name(self):
+        assert canonical_signature(MATS) == canonical_signature(
+            MATS.renamed("other")
+        )

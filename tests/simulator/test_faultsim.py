@@ -103,5 +103,11 @@ class TestReports:
         assert all(matrix["MATS"].values())
 
     def test_simulate_empty_cases(self):
-        report = simulate(MATS, [])
-        assert report.complete and report.coverage == 1.0
+        # An empty run must not masquerade as full coverage: it reports
+        # 0.0 and warns at simulation time.
+        from repro.kernel import EmptyFaultListWarning
+
+        with pytest.warns(EmptyFaultListWarning):
+            report = simulate(MATS, [])
+        assert report.coverage == 0.0
+        assert not report.detected and not report.missed
