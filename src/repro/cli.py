@@ -46,7 +46,7 @@ def _kernel(args: argparse.Namespace) -> SimulationKernel:
 
 def _maybe_print_stats(args: argparse.Namespace, kernel: SimulationKernel) -> None:
     if getattr(args, "sim_stats", False):
-        print(f"simulation {kernel.stats}")
+        print(f"simulation {kernel.describe_stats()}")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -208,7 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
         command_parser.add_argument(
             "--sim-stats", action="store_true",
-            help="print the kernel's cache hit/miss statistics",
+            help="print the kernel's cache hit/miss/eviction statistics"
+                 " and the per-backend task routing breakdown",
         )
 
     gen = sub.add_parser("generate", help="generate a March test")

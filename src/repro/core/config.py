@@ -55,8 +55,12 @@ class GeneratorConfig:
         TPG edge cost: ``"hamming"`` (f.4.1) or ``"uniform"`` (ablation).
     backend:
         Execution backend of the simulation kernel: ``"serial"``
-        (default) or ``"process"`` (multiprocessing over fault-case
-        chunks).  See :mod:`repro.kernel.backends`.
+        (default), ``"process"`` (multiprocessing over fault-case
+        chunks) or ``"bitparallel"`` (word-packed simulation: all
+        lane-packable fault instances advance in one machine word per
+        march operation, with scalar fallback for the rest).  See
+        :mod:`repro.kernel.backends` and the README section "Choosing
+        a backend".
     sim_cache_size:
         Bound of the kernel's fault-dictionary cache (LRU beyond it).
     """

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 class Sensitization(enum.Enum):
@@ -92,6 +92,59 @@ _EFFECT_ALIASES = {
 
 
 @dataclass(frozen=True)
+class MaskTransition:
+    """One bitwise lane-update rule of the word-packed simulator.
+
+    The bit-parallel engine (:mod:`repro.simulator.bitengine`)
+    represents an n-cell memory as per-cell bitmask pairs ``(value,
+    defined)`` whose bit ``L`` holds lane ``L``'s cell value and whether
+    it is a definite binary value rather than ``'-'``.  A fault
+    primitive whose semantics are *local to one cell* compiles to a
+    ``MaskTransition``: a trigger operation plus a required stored
+    value, under which the lane's stored and/or reported bit inverts (or
+    the triggering write is dropped).  The engine evaluates a rule for
+    every lane at once::
+
+        fired = lane_mask & defined & (value if old_value else ~value)
+
+    Attributes
+    ----------
+    trigger:
+        ``"w"`` (a write to the cell), ``"r"`` (a read of the cell) or
+        ``"T"`` (a retention period).
+    old_value:
+        Stored binary value the cell must hold for the rule to fire
+        (a ``'-'`` cell never fires: the ``defined`` mask gates it).
+    trigger_value:
+        For ``"w"`` rules, the written value arming the rule; ``None``
+        for read/wait rules.
+    lose_write:
+        The triggering write is silently dropped (transition faults).
+    flip_store:
+        The stored bit inverts when the rule fires.
+    flip_report:
+        For ``"r"`` rules, the reported bit inverts relative to the
+        stored pre-state (wrong-value reads).
+    """
+
+    trigger: str
+    old_value: int
+    trigger_value: Optional[int] = None
+    lose_write: bool = False
+    flip_store: bool = False
+    flip_report: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trigger not in ("w", "r", "T"):
+            raise ValueError("mask-transition trigger must be w, r or T")
+        if self.old_value not in (0, 1):
+            raise ValueError("mask-transition old value must be binary")
+        if (self.trigger == "w") != (self.trigger_value is not None):
+            raise ValueError("write rules (and only they) carry a"
+                             " trigger value")
+
+
+@dataclass(frozen=True)
 class FaultPrimitive:
     """A parsed ``<S, F>`` fault primitive.
 
@@ -120,6 +173,79 @@ class FaultPrimitive:
         if self.sensitization is Sensitization.ANY_TRANSITION:
             return ((0, 1), (1, 0))
         return ()
+
+    @property
+    def lane_packable(self) -> bool:
+        """Whether the primitive's effect is expressible lane-locally.
+
+        Transition, read and wait sensitizations condition only on the
+        affected cell's own stored value, so they compile to
+        :class:`MaskTransition` rules evaluated in O(1) bitwise
+        operations per lane word.  State sensitizations (``<0,F>`` /
+        ``<1,F>``) hold *continuously* while another cell sits in a
+        state; the packed engine handles them through dedicated
+        aggressor/victim coupling groups instead of per-lane mask
+        rules, and behaviours that are not primitives at all (the
+        stuck-open sense-amplifier latch, which couples every read of
+        every cell through shared analog state) cannot be packed and
+        fall back to the scalar engine.
+        """
+        return not self.sensitization.is_state
+
+    def mask_transitions(self) -> Tuple[MaskTransition, ...]:
+        """Compile the primitive to word-packed lane-update rules.
+
+        An empty tuple means the (lane-packable) primitive never
+        deviates from the good machine (e.g. ``<up,1>``: forcing a
+        rising cell to 1 is exactly the good behaviour).
+        """
+        if not self.lane_packable:
+            raise ValueError(
+                f"state-sensitized primitive {self} has no lane-local"
+                " mask transitions; use the coupling-group encoding"
+            )
+        sens, effect = self.sensitization, self.effect
+        if sens.is_transition:
+            out = []
+            for start, written in self.sensitizing_writes:
+                if effect is Effect.FORCE_0:
+                    final = 0
+                elif effect is Effect.FORCE_1:
+                    final = 1
+                else:  # NO_CHANGE and INVERT both leave the start value
+                    final = start
+                if final != written:
+                    out.append(
+                        MaskTransition(
+                            "w", old_value=start, trigger_value=written,
+                            lose_write=True,
+                        )
+                    )
+            return tuple(out)
+        if sens is Sensitization.READ:
+            if effect is Effect.NO_CHANGE:
+                return ()
+            if effect is Effect.INVERT:
+                return tuple(
+                    MaskTransition("r", old_value=v, flip_store=True,
+                                   flip_report=True)
+                    for v in (0, 1)
+                )
+            forced = 0 if effect is Effect.FORCE_0 else 1
+            return (
+                MaskTransition("r", old_value=1 - forced, flip_store=True,
+                               flip_report=True),
+            )
+        # WAIT: the cell decays during a retention period.
+        if effect is Effect.NO_CHANGE:
+            return ()
+        if effect is Effect.INVERT:
+            return tuple(
+                MaskTransition("T", old_value=v, flip_store=True)
+                for v in (0, 1)
+            )
+        forced = 0 if effect is Effect.FORCE_0 else 1
+        return (MaskTransition("T", old_value=1 - forced, flip_store=True),)
 
 
 def parse_primitive(text: str) -> FaultPrimitive:

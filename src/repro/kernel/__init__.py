@@ -6,6 +6,7 @@ repository README for the cache-key and backend-extension guides.
 
 from .backends import (
     BACKENDS,
+    BitParallelBackend,
     DetectTask,
     ExecutionBackend,
     ProcessBackend,
@@ -27,6 +28,7 @@ from .report import EmptyFaultListWarning, SimulationReport
 
 __all__ = [
     "BACKENDS",
+    "BitParallelBackend",
     "DEFAULT_SIZE",
     "DetectTask",
     "EmptyFaultListWarning",

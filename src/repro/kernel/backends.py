@@ -3,8 +3,14 @@
 A backend executes a batch of *detection tasks* -- ``(test, fault
 case, size)`` triples whose verdicts are not yet in the kernel's fault
 dictionary -- and returns one worst-case boolean per task.  The kernel
-never cares how: serially in-process (the default), or fanned out over
-worker processes.
+never cares how: serially in-process (the default), fanned out over
+worker processes, or word-packed so every fault lane of a test advances
+in one bitwise operation per march step (``bitparallel``).
+
+Every backend counts the tasks it served per execution strategy in
+``served`` (e.g. the bitparallel backend splits between ``bitparallel``
+and its scalar ``serial`` fallback), which the CLI's ``--sim-stats``
+reports so routing decisions stay observable.
 
 Adding a backend
 ----------------
@@ -24,11 +30,13 @@ import multiprocessing
 import os
 import threading
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults.instances import FaultCase
 from ..march.test import MarchTest
+from ..simulator.bitengine import PackedSimulation, lane_packable_case
 from ..simulator.engine import run_march
 from .pool import MemoryPool
 
@@ -74,6 +82,17 @@ class ExecutionBackend:
     #: Registry key; also what ``--backend`` matches against.
     name = "abstract"
 
+    def __init__(self) -> None:
+        #: Tasks served per execution strategy, e.g. ``{"serial": 12}``
+        #: or ``{"bitparallel": 60, "serial": 9}`` when a backend
+        #: routes part of a batch to a fallback.  ``--sim-stats`` prints
+        #: this so routing decisions are observable.
+        self.served: Dict[str, int] = {}
+
+    def count_served(self, strategy: str, tasks: int) -> None:
+        if tasks:
+            self.served[strategy] = self.served.get(strategy, 0) + tasks
+
     def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
         raise NotImplementedError
 
@@ -87,9 +106,11 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def __init__(self, pool: Optional[MemoryPool] = None) -> None:
+        super().__init__()
         self.pool = pool or MemoryPool()
 
     def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
+        self.count_served("serial", len(tasks))
         return [
             worst_case_detects(
                 task.test.concrete_order_variants(),
@@ -157,11 +178,13 @@ class ProcessBackend(ExecutionBackend):
         processes: Optional[int] = None,
         pool: Optional[MemoryPool] = None,
     ) -> None:
+        super().__init__()
         self.processes = processes or os.cpu_count() or 1
         self._serial = SerialBackend(pool)
 
     def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
         if len(tasks) < self.MIN_BATCH or self.processes < 2:
+            self.count_served("serial", len(tasks))
             return self._serial.detect_batch(tasks)
         try:
             context = multiprocessing.get_context("fork")
@@ -171,8 +194,10 @@ class ProcessBackend(ExecutionBackend):
                 " falling back to serial execution",
                 RuntimeWarning,
             )
+            self.count_served("serial", len(tasks))
             return self._serial.detect_batch(tasks)
         global _FORK_TASKS
+        self.count_served("process", len(tasks))
         with _FORK_LOCK:
             _FORK_TASKS = tuple(tasks)
             try:
@@ -185,9 +210,96 @@ class ProcessBackend(ExecutionBackend):
                 _FORK_TASKS = ()
 
 
+class BitParallelBackend(ExecutionBackend):
+    """Word-packed evaluation: one machine word per march operation.
+
+    Tasks whose fault case is lane-packable (see
+    :mod:`repro.simulator.bitengine`) are grouped by (test, size) and
+    evaluated in a single packed run per concrete order variant --
+    every fault lane advances with O(1) bitwise operations per march
+    step instead of O(n) scalar steps per fault instance.  Unpackable
+    cases (the stuck-open sense-amplifier latch, unknown user-defined
+    instance types) fall back to the scalar serial backend; ``served``
+    records how many tasks each side handled.
+
+    Packed simulations are cached per (case names, size) -- case names
+    are the repository-wide canonical fault identity -- so the
+    generator's batch-of-one verifier probes reuse one lane plan across
+    thousands of candidate tests.
+    """
+
+    name = "bitparallel"
+
+    #: Bound of the lane-plan cache (LRU beyond it).
+    PLAN_CACHE_SIZE = 128
+
+    def __init__(self, pool: Optional[MemoryPool] = None) -> None:
+        super().__init__()
+        self._serial = SerialBackend(pool)
+        self._simulations: "OrderedDict[Tuple, PackedSimulation]" = (
+            OrderedDict()
+        )
+        # Packability memo keyed by case name (the canonical fault
+        # identity): the verifier probes the same few cases against
+        # thousands of candidate tests.
+        self._packable: Dict[str, bool] = {}
+
+    def _is_packable(self, case: FaultCase) -> bool:
+        verdict = self._packable.get(case.name)
+        if verdict is None:
+            verdict = lane_packable_case(case)
+            self._packable[case.name] = verdict
+        return verdict
+
+    def _simulation(
+        self, cases: Sequence[FaultCase], size: int
+    ) -> PackedSimulation:
+        key = (tuple(case.name for case in cases), size)
+        simulation = self._simulations.get(key)
+        if simulation is None:
+            simulation = PackedSimulation(cases, size)
+            self._simulations[key] = simulation
+            while len(self._simulations) > self.PLAN_CACHE_SIZE:
+                self._simulations.popitem(last=False)
+        else:
+            self._simulations.move_to_end(key)
+        return simulation
+
+    def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
+        results: List[Optional[bool]] = [None] * len(tasks)
+        packed_groups: "OrderedDict[Tuple[MarchTest, int], List[int]]" = (
+            OrderedDict()
+        )
+        fallback_indices: List[int] = []
+        for index, task in enumerate(tasks):
+            if self._is_packable(task.case):
+                packed_groups.setdefault((task.test, task.size), []).append(
+                    index
+                )
+            else:
+                fallback_indices.append(index)
+        for (test, size), indices in packed_groups.items():
+            cases = [tasks[i].case for i in indices]
+            verdicts = self._simulation(cases, size).worst_case_verdicts(test)
+            for i, verdict in zip(indices, verdicts):
+                results[i] = verdict
+        self.count_served(
+            "bitparallel", len(tasks) - len(fallback_indices)
+        )
+        if fallback_indices:
+            self.count_served("serial", len(fallback_indices))
+            fallback = self._serial.detect_batch(
+                [tasks[i] for i in fallback_indices]
+            )
+            for i, verdict in zip(fallback_indices, fallback):
+                results[i] = verdict
+        return results  # type: ignore[return-value]
+
+
 BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ProcessBackend.name: ProcessBackend,
+    BitParallelBackend.name: BitParallelBackend,
 }
 
 

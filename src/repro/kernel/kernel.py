@@ -14,9 +14,9 @@ kernel, which
   recycles :class:`~repro.memory.array.MemoryArray` instances through a
   :class:`~repro.kernel.pool.MemoryPool` instead of reallocating;
 * dispatches batched cache misses to a pluggable
-  :class:`~repro.kernel.backends.ExecutionBackend` (``serial`` or
-  ``process``), selectable via ``GeneratorConfig(backend=...)`` or the
-  CLI ``--backend`` flag.
+  :class:`~repro.kernel.backends.ExecutionBackend` (``serial``,
+  ``process`` or the word-packed ``bitparallel``), selectable via
+  ``GeneratorConfig(backend=...)`` or the CLI ``--backend`` flag.
 
 Results are bit-identical to the legacy per-call paths; see
 ``tests/kernel/`` for the equivalence properties.
@@ -122,10 +122,34 @@ class SimulationKernel:
         """Hit/miss/eviction counters of the fault dictionary."""
         return self.cache.stats
 
+    def describe_stats(self) -> str:
+        """Cache counters plus the backend routing breakdown.
+
+        The routing part reports how many cache-miss tasks each
+        execution strategy actually served (e.g. ``bitparallel`` vs its
+        scalar ``serial`` fallback), so ``--sim-stats`` makes backend
+        dispatch observable rather than a black box.
+        """
+        served = getattr(self.backend, "served", None) or {}
+        routing = ", ".join(
+            f"{name}: {count}" for name, count in sorted(served.items())
+        )
+        return (
+            f"{self.stats}; backend [{self.backend.name}]"
+            f" served {routing if routing else 'no tasks'}"
+        )
+
     def clear(self) -> None:
-        """Drop every cached verdict and reset the stats."""
+        """Drop every cached verdict and reset the stats.
+
+        Also resets the backend's routing counters so
+        :meth:`describe_stats` never mixes pre- and post-clear runs.
+        """
         self.cache.clear()
         self.stats.reset()
+        served = getattr(self.backend, "served", None)
+        if served is not None:
+            served.clear()
 
     # -- single-detection API ---------------------------------------------------
 

@@ -5,7 +5,14 @@ byte-identical to the pre-refactor per-call path.  The legacy path is
 reproduced verbatim below (fresh ``MemoryArray`` per (order-variant,
 fault-variant) pair, variants re-enumerated per call) and compared
 against the kernel over the full standard fault library at sizes 3-5.
+
+The bit-parallel backend carries the same contract one level up: its
+word-packed runs (plus the scalar fallback for unpackable cases) must
+produce detection matrices byte-identical to the serial backend over
+the full standard fault library at sizes 3-6.
 """
+
+import json
 
 import pytest
 
@@ -111,6 +118,80 @@ def test_two_port_domain_matches_differential_simulator():
         assert kernel.detects_2p(MARCH_2PF, fault_case, 3) == expected
         assert kernel.detects_2p(MARCH_2PF, fault_case, 3) == expected
     assert kernel.stats.hits > 0
+
+
+# -- bit-parallel backend equivalence ------------------------------------------
+
+
+@pytest.mark.parametrize("size", [3, 4, 5, 6])
+def test_bitparallel_matrix_byte_identical_to_serial(size, full_library):
+    """Acceptance criterion of the bit-parallel backend.
+
+    The full standard library deliberately includes SOF (unpackable:
+    the sense-amplifier latch falls back to the scalar engine), so the
+    property also covers the packable/unpackable routing seam.
+    """
+    serial = SimulationKernel(backend="serial").detection_matrix(
+        TESTS, full_library, size
+    )
+    packed = SimulationKernel(backend="bitparallel").detection_matrix(
+        TESTS, full_library, size
+    )
+    assert packed == serial
+    # Byte-identical, not merely equal: the serialized matrices match.
+    assert json.dumps(packed, sort_keys=True) == json.dumps(
+        serial, sort_keys=True
+    )
+
+
+def test_bitparallel_routes_both_ways(full_library):
+    kernel = SimulationKernel(backend="bitparallel")
+    kernel.detection_matrix(TESTS, full_library, 3)
+    served = kernel.backend.served
+    assert served.get("bitparallel", 0) > 0, "no packed tasks"
+    assert served.get("serial", 0) > 0, "SOF should fall back to scalar"
+
+
+def test_bitparallel_simulation_report_identical(full_library):
+    cases = full_library.instances(4)
+    packed = SimulationKernel(backend="bitparallel").simulate(
+        MARCH_C_MINUS, cases, 4
+    )
+    serial = SimulationKernel().simulate(MARCH_C_MINUS, cases, 4)
+    assert packed.detected == serial.detected
+    assert packed.missed == serial.missed
+    assert str(packed) == str(serial)
+
+
+def test_bitparallel_handles_delay_elements():
+    from repro.faults.faultlist import FaultList
+    from repro.march.test import parse_march
+
+    test = parse_march("{up(w0); Del; up(r0,w1); Del; down(r1,w0)}")
+    faults = FaultList.from_names("DRF")
+    packed = SimulationKernel(backend="bitparallel").simulate_fault_list(
+        test, faults, 4
+    )
+    serial = SimulationKernel().simulate_fault_list(test, faults, 4)
+    assert packed.detected == serial.detected
+    assert packed.detected, "the retention test must catch DRF"
+
+
+def test_bitparallel_verifier_agrees_with_serial(full_library):
+    from repro.march.test import parse_march
+
+    cases = full_library.instances(3)
+    packed_verify = SimulationKernel(backend="bitparallel").verifier(cases, 3)
+    serial_verify = SimulationKernel().verifier(cases, 3)
+    candidates = TESTS + [
+        parse_march("{any(w0); any(r0)}"),
+        parse_march("{up(w0); up(r0,w1); down(r1,w0); down(r0)}"),
+        parse_march("{any(w1); any(r0)}"),  # malformed
+    ]
+    for candidate in candidates:
+        assert packed_verify(candidate) == serial_verify(candidate), str(
+            candidate
+        )
 
 
 def test_coverage_matrix_unchanged_by_kernel_routing(full_library):

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.faults.faultlist import FaultList
+from repro.faults.instances import case
 from repro.kernel import (
     BACKENDS,
+    BitParallelBackend,
+    DetectTask,
     EmptyFaultListWarning,
     FaultDictionaryCache,
     MemoryPool,
@@ -19,7 +22,15 @@ from repro.kernel import (
 )
 from repro.march.catalog import MARCH_C_MINUS, MATS, MSCAN
 from repro.march.test import parse_march
+from repro.memory.array import NullFaultInstance
 from repro.memory.state import DASH
+
+
+class ExplodingInstance(NullFaultInstance):
+    """Raises on the first read: exercises worker error propagation."""
+
+    def on_read(self, memory, address):
+        raise RuntimeError("injected fault-instance failure")
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +89,22 @@ class TestCache:
         with pytest.raises(ValueError):
             FaultDictionaryCache(max_entries=0)
 
+    def test_kernel_evicts_under_a_small_bound(self, saf_list):
+        # Kernel-level LRU pressure: verdicts must stay correct while
+        # the dictionary churns, and the eviction count must surface.
+        kernel = SimulationKernel(cache_size=4)
+        cases = saf_list.instances(3)
+        assert len(cases) > 4
+        report = kernel.simulate(MATS, cases, 3)
+        assert report.complete
+        assert len(kernel.cache) <= 4
+        assert kernel.stats.evictions >= len(cases) - 4
+        assert "evictions" in str(kernel.stats)
+        # Evicted verdicts are recomputed, not lost or corrupted.
+        again = kernel.simulate(MATS, cases, 3)
+        assert again.detected == report.detected
+        assert kernel.stats.misses > len(cases)
+
 
 class TestPool:
     def test_reuse_and_reset(self):
@@ -111,8 +138,8 @@ class TestPool:
 
 
 class TestBackends:
-    def test_registry_contains_both(self):
-        assert set(BACKENDS) >= {"serial", "process"}
+    def test_registry_contains_all(self):
+        assert set(BACKENDS) >= {"serial", "process", "bitparallel"}
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown simulation backend"):
@@ -137,6 +164,26 @@ class TestBackends:
         report = kernel.simulate(MATS, saf_list.instances(2)[:2], 2)
         assert report.complete
 
+    def test_process_backend_propagates_worker_errors(self, saf_list):
+        # A fault instance that raises inside a worker must surface in
+        # the parent (and on fork-less hosts, in the serial fallback).
+        boom = case("boom", ExplodingInstance)
+        tasks = [
+            DetectTask(MATS, boom, 3)
+        ] * max(ProcessBackend.MIN_BATCH, 8)
+        backend = ProcessBackend(processes=2)
+        with pytest.raises(RuntimeError, match="injected fault-instance"):
+            backend.detect_batch(tasks)
+        # The fork-task slot is released even on failure, and the
+        # backend keeps serving afterwards.
+        from repro.kernel import backends as backends_module
+
+        assert backends_module._FORK_TASKS == ()
+        healthy = [
+            DetectTask(MATS, c, 3) for c in saf_list.instances(3)
+        ] * 2
+        assert all(backend.detect_batch(healthy))
+
     def test_concurrent_process_batches_stay_isolated(self, table3_list):
         # The fork-task handoff is a module-level slot; concurrent
         # batches must not fork workers inheriting each other's tasks.
@@ -158,6 +205,82 @@ class TestBackends:
         for thread in threads:
             thread.join()
         assert results["a"] == serial and results["b"] == serial
+
+
+class TestBitParallelBackend:
+    def test_matches_serial_on_table3(self, table3_list):
+        cases = table3_list.instances(3)
+        tests = [MATS, MSCAN, MARCH_C_MINUS]
+        packed = SimulationKernel(backend="bitparallel").detection_matrix(
+            tests, cases, 3
+        )
+        serial = SimulationKernel().detection_matrix(tests, cases, 3)
+        assert packed == serial
+
+    def test_served_counters_split_by_routing(self):
+        # SAF packs; SOF falls back to the scalar engine.
+        kernel = SimulationKernel(backend="bitparallel")
+        mixed = FaultList.from_names("SAF", "SOF")
+        report = kernel.simulate_fault_list(MATS, mixed, 3)
+        saf_cases = len(FaultList.from_names("SAF").instances(3))
+        sof_cases = len(FaultList.from_names("SOF").instances(3))
+        assert kernel.backend.served == {
+            "bitparallel": saf_cases,
+            "serial": sof_cases,
+        }
+        assert len(report.detected) + len(report.missed) == (
+            saf_cases + sof_cases
+        )
+
+    def test_describe_stats_reports_routing_and_evictions(self):
+        kernel = SimulationKernel(backend="bitparallel")
+        kernel.simulate_fault_list(MATS, FaultList.from_names("SAF"), 3)
+        description = kernel.describe_stats()
+        assert "evictions" in description
+        assert "backend [bitparallel]" in description
+        assert "bitparallel:" in description
+
+    def test_clear_resets_routing_counters_too(self):
+        kernel = SimulationKernel(backend="bitparallel")
+        kernel.simulate_fault_list(MATS, FaultList.from_names("SAF"), 3)
+        assert kernel.backend.served
+        kernel.clear()
+        assert kernel.backend.served == {}
+        assert "served no tasks" in kernel.describe_stats()
+
+    def test_lane_plan_cache_is_bounded_and_reused(self, saf_list):
+        backend = BitParallelBackend()
+        backend.PLAN_CACHE_SIZE = 2
+        cases = saf_list.instances(3)
+        tasks = [DetectTask(MATS, c, 3) for c in cases]
+        backend.detect_batch(tasks)
+        first = next(iter(backend._simulations.values()))
+        backend.detect_batch([DetectTask(MARCH_C_MINUS, c, 3) for c in cases])
+        # Same (case names, size) key: the packed plan is reused.
+        assert first in backend._simulations.values()
+        for size in (2, 4, 5):
+            backend.detect_batch(
+                [DetectTask(MATS, c, size)
+                 for c in saf_list.instances(size)]
+            )
+        assert len(backend._simulations) <= 2
+
+    def test_single_probe_batches_work(self, saf_list):
+        # The generator's verifier sends batches of one; the packed
+        # path must handle them (and benefit from the plan cache).
+        kernel = SimulationKernel(backend="bitparallel")
+        for fault_case in saf_list.instances(3):
+            assert kernel.detects(MATS, fault_case, 3)
+
+    def test_generator_runs_on_bitparallel_backend(self):
+        from repro.core import GeneratorConfig, MarchTestGenerator
+
+        config = GeneratorConfig(backend="bitparallel", polish=False,
+                                 tighten=False, check_redundancy=False)
+        report = MarchTestGenerator(config).generate(
+            FaultList.from_names("SAF")
+        )
+        assert report.verified
 
 
 class TestBatchedApis:
