@@ -15,7 +15,11 @@ Compared paths:
 * **process**      -- a fresh kernel with the multiprocessing backend;
 * **bitparallel**  -- a fresh kernel with the word-packed backend: all
   lane-packable fault instances advance in one machine word per march
-  operation.
+  operation;
+* **store warm start** -- two *separate processes* running the same
+  workload against one persistent fault-dictionary store
+  (``--store``): the first simulates and writes through, the second
+  answers every verdict from disk without touching a backend.
 
 ``python benchmarks/bench_kernel.py`` prints the comparison table and
 writes the machine-readable ``BENCH_kernel.json`` next to the repo
@@ -24,14 +28,18 @@ the performance trajectory is tracked across PRs instead of living in
 print-only output.  The ``test_*_guard`` checks double as the CI smoke
 benchmark: they fail when the warm-cache path stops being >= 3x faster
 than legacy, when the bit-parallel cold path stops being >= 3x faster
-than the serial cold path at size 8, or when the cold path regresses
-past a generous wall-clock ceiling.
+than the serial cold path at size 8, when the second cold-process
+store run stops being >= 3x faster than the first, or when the cold
+path regresses past a generous wall-clock ceiling.
 """
 
 import json
+import multiprocessing
 import pathlib
 import platform
+import queue as queue_module
 import sys
+import tempfile
 import time
 
 from repro.faults import FaultList
@@ -73,6 +81,10 @@ SIZE_LARGE = 8
 
 #: Acceptance floor: warm-cache detection_matrix vs. the legacy path.
 REQUIRED_WARM_SPEEDUP = 3.0
+#: Acceptance floor: second cold-process run of the Table 3 workload
+#: with ``--store`` vs. the first (the PR's measured ratio is ~8-15x;
+#: 3x is the regression guard so slow shared CI disks do not flake).
+REQUIRED_STORE_WARM_SPEEDUP = 3.0
 #: Acceptance floor: bit-parallel cold vs. serial cold at SIZE_LARGE
 #: (the PR's target is >= 10x; 3x is the regression guard so slow
 #: shared CI runners do not flake).
@@ -113,6 +125,70 @@ def make_warm_kernel(faults):
 
 def run_kernel_warm(kernel, faults):
     return kernel.detection_matrix(TESTS, faults, SIZE)
+
+
+# -- cross-process store warm start --------------------------------------------
+#
+# The acceptance workload of the persistence subsystem: the Table 3
+# matrix, serial backend, one process at a time against one shared
+# ``--store`` file.  Each run happens in a forked child so its LRU and
+# module state are genuinely cold -- exactly what a repeated CLI
+# invocation sees; only the store file carries state across runs.
+
+
+def _store_run_worker(store_path, channel):
+    kernel = SimulationKernel(backend="serial", store=store_path)
+    try:
+        started = time.perf_counter()
+        matrix = kernel.detection_matrix(TESTS, table3_faults(), SIZE)
+        seconds = time.perf_counter() - started
+    finally:
+        kernel.close()
+    channel.put((seconds, json.dumps(matrix, sort_keys=True)))
+
+
+def measure_store_warm_start(store_path):
+    """Run the workload twice in fresh processes; [(seconds, matrix)]."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        context = None
+    runs = []
+    for _ in range(2):
+        if context is None:  # pragma: no cover - in-process approximation
+            class _Inline:
+                def put(self, item):
+                    self.item = item
+
+            channel = _Inline()
+            _store_run_worker(store_path, channel)
+            runs.append(channel.item)
+            continue
+        channel = context.Queue()
+        process = context.Process(
+            target=_store_run_worker, args=(store_path, channel)
+        )
+        process.start()
+        try:
+            # Bounded get: a child that dies before putting (store
+            # error, OOM kill) must fail the benchmark, not hang it.
+            result = channel.get(timeout=300)
+        except queue_module.Empty:
+            # A *stuck* child must be killed, or multiprocessing's
+            # atexit join would hang the interpreter anyway.
+            process.terminate()
+            process.join(timeout=10)
+            raise RuntimeError(
+                "store benchmark child produced no result"
+                f" (exitcode {process.exitcode})"
+            ) from None
+        process.join()
+        if process.exitcode != 0:
+            raise RuntimeError(
+                f"store benchmark child exited {process.exitcode}"
+            )
+        runs.append(result)
+    return runs
 
 
 # -- pytest-benchmark entry points --------------------------------------------
@@ -196,6 +272,29 @@ def test_bitparallel_cold_speedup_guard():
     )
 
 
+def test_store_warm_start_speedup_guard():
+    """Acceptance criterion of the persistence subsystem: the second
+    cold-process run of the Table 3 workload with ``--store`` is >= 3x
+    faster than the first, with byte-identical verdicts."""
+    with tempfile.TemporaryDirectory() as scratch:
+        store_path = str(pathlib.Path(scratch) / "bench-store.sqlite")
+        (first_seconds, first_matrix), (second_seconds, second_matrix) = (
+            measure_store_warm_start(store_path)
+        )
+    assert first_matrix == second_matrix, "store-served verdicts diverged"
+    in_memory = json.dumps(
+        SimulationKernel().detection_matrix(TESTS, table3_faults(), SIZE),
+        sort_keys=True,
+    )
+    assert second_matrix == in_memory, "store diverged from in-memory"
+    speedup = first_seconds / second_seconds
+    assert speedup >= REQUIRED_STORE_WARM_SPEEDUP, (
+        f"store-backed second process only {speedup:.1f}x faster than the"
+        f" first ({second_seconds * 1e3:.2f} ms vs"
+        f" {first_seconds * 1e3:.2f} ms)"
+    )
+
+
 def test_cold_wall_clock_guard():
     """Wall-clock regression guard for the uncached kernel path."""
     seconds, _ = _best_of(2, run_kernel_cold, table3_faults())
@@ -223,6 +322,12 @@ def collect_benchmarks():
     packed_large_seconds, _ = _best_of(
         2, run_kernel_cold, faults, backend="bitparallel", size=SIZE_LARGE
     )
+    with tempfile.TemporaryDirectory() as scratch:
+        store_runs = measure_store_warm_start(
+            str(pathlib.Path(scratch) / "bench-store.sqlite")
+        )
+    store_first_seconds = store_runs[0][0]
+    store_second_seconds = store_runs[1][0]
     return {
         "schema": 1,
         "benchmark": "bench_kernel",
@@ -234,6 +339,7 @@ def collect_benchmarks():
             "required_bitparallel_cold_speedup": (
                 REQUIRED_BITPARALLEL_SPEEDUP
             ),
+            "required_store_warm_speedup": REQUIRED_STORE_WARM_SPEEDUP,
             "cold_wall_clock_ceiling_seconds": COLD_WALL_CLOCK_CEILING,
         },
         "workloads": {
@@ -268,6 +374,19 @@ def collect_benchmarks():
                         serial_large_seconds / packed_large_seconds
                     ),
                 },
+            },
+            "table3_size3_store": {
+                "tests": len(TESTS),
+                "fault_cases": len(faults.instances(SIZE)),
+                "size": SIZE,
+                "backend": "serial",
+                "seconds": {
+                    "first_cold_process": store_first_seconds,
+                    "second_cold_process": store_second_seconds,
+                },
+                "cross_process_warm_speedup": (
+                    store_first_seconds / store_second_seconds
+                ),
             },
         },
     }
@@ -308,6 +427,20 @@ def main():
         seconds = large["seconds"][key]
         speedup = large["speedup_vs_cold_serial"].get(key, 1.0)
         print(f"  {label:26s} {seconds * 1e3:9.2f} ms   {speedup:7.1f}x")
+    store = payload["workloads"]["table3_size3_store"]
+    print(
+        f"cross-process --store warm start ({store['tests']} tests x"
+        f" {store['fault_cases']} cases, {store['backend']} backend)"
+    )
+    print(
+        f"  {'first process (simulates)':26s}"
+        f" {store['seconds']['first_cold_process'] * 1e3:9.2f} ms"
+    )
+    print(
+        f"  {'second process (store)':26s}"
+        f" {store['seconds']['second_cold_process'] * 1e3:9.2f} ms"
+        f"   {store['cross_process_warm_speedup']:7.1f}x"
+    )
     path = write_bench_json(payload)
     print(f"wrote {path}")
 

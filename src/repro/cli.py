@@ -5,6 +5,8 @@ Examples::
     python -m repro generate SAF TF
     python -m repro simulate "MarchC-" SAF TF ADF CFIN CFID
     python -m repro simulate "{any(w0); up(r0,w1); down(r1)}" SAF
+    python -m repro simulate MarchC- SAF TF --store results.sqlite
+    python -m repro campaign examples/campaign_table3.json --store results.sqlite
     python -m repro catalog
     python -m repro models
     python -m repro table3
@@ -39,9 +41,20 @@ def _fault_list(names: List[str]) -> FaultList:
     return FaultList.from_names(*names)
 
 
+#: The CLI's simulation backend when ``--backend`` is not given.  The
+#: word-packed engine won on every profiled workload (including the
+#: generator's verify-size-2 single-probe path) once SOF gained its
+#: latch-word encoding; ``--backend serial`` remains selectable.
+DEFAULT_BACKEND = "bitparallel"
+
+
 def _kernel(args: argparse.Namespace) -> SimulationKernel:
     """The simulation kernel for one CLI invocation."""
-    return SimulationKernel(backend=getattr(args, "backend", "serial"))
+    return SimulationKernel(
+        backend=getattr(args, "backend", DEFAULT_BACKEND),
+        store=getattr(args, "store", None),
+        store_readonly=getattr(args, "store_readonly", False),
+    )
 
 
 def _maybe_print_stats(args: argparse.Namespace, kernel: SimulationKernel) -> None:
@@ -57,11 +70,16 @@ def cmd_generate(args: argparse.Namespace) -> int:
         polish=not args.no_polish,
         selection_limit=args.selection_limit,
         backend=args.backend,
+        store_path=args.store,
+        store_readonly=args.store_readonly,
     )
     generator = MarchTestGenerator(config)
-    report = generator.generate(_fault_list(args.faults))
-    print(report.summary())
-    _maybe_print_stats(args, generator.kernel)
+    try:
+        report = generator.generate(_fault_list(args.faults))
+        print(report.summary())
+        _maybe_print_stats(args, generator.kernel)
+    finally:
+        generator.kernel.close()
     return 0 if report.verified else 1
 
 
@@ -69,9 +87,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
     kernel = _kernel(args)
-    report = coverage_report(test, faults, size=args.size, kernel=kernel)
-    print(report)
-    _maybe_print_stats(args, kernel)
+    try:
+        report = coverage_report(test, faults, size=args.size, kernel=kernel)
+        print(report)
+        _maybe_print_stats(args, kernel)
+    finally:
+        kernel.close()
     return 0 if all(m.complete for m in report.models) else 1
 
 
@@ -123,21 +144,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
     kernel = _kernel(args)
-    report = coverage_report(test, faults, size=args.size, kernel=kernel)
-    print(report)
-    cases = faults.instances(args.size)
-    cm = coverage_matrix(test, cases, args.size, kernel=kernel)
-    verdict = "non-redundant" if cm.is_non_redundant() else "redundant"
-    print(f"covers all cases : {cm.covers_all}")
-    print(f"block analysis   : {verdict}"
-          f" ({len(cm.blocks)} elementary blocks)")
-    redundant = cm.redundant_blocks()
-    if redundant:
-        blocks = ", ".join(
-            cm.blocks[k].describe(cm.test) for k in redundant
-        )
-        print(f"redundant blocks : {blocks}")
-    _maybe_print_stats(args, kernel)
+    try:
+        report = coverage_report(test, faults, size=args.size, kernel=kernel)
+        print(report)
+        cases = faults.instances(args.size)
+        cm = coverage_matrix(test, cases, args.size, kernel=kernel)
+        verdict = "non-redundant" if cm.is_non_redundant() else "redundant"
+        print(f"covers all cases : {cm.covers_all}")
+        print(f"block analysis   : {verdict}"
+              f" ({len(cm.blocks)} elementary blocks)")
+        redundant = cm.redundant_blocks()
+        if redundant:
+            blocks = ", ".join(
+                cm.blocks[k].describe(cm.test) for k in redundant
+            )
+            print(f"redundant blocks : {blocks}")
+        _maybe_print_stats(args, kernel)
+    finally:
+        kernel.close()
     return 0
 
 
@@ -147,15 +171,36 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
     kernel = _kernel(args)
-    dictionary = build_dictionary_for(test, faults, args.size, kernel=kernel)
-    print(f"fault cases        : {dictionary.case_count}")
-    print(f"distinct syndromes : {dictionary.syndromes}")
-    print(f"unique resolution  : {dictionary.resolution() * 100:.0f}%")
-    undetected = dictionary.undetected_cases()
-    if undetected:
-        print(f"undetected         : {', '.join(undetected)}")
-    _maybe_print_stats(args, kernel)
+    try:
+        dictionary = build_dictionary_for(
+            test, faults, args.size, kernel=kernel
+        )
+        print(f"fault cases        : {dictionary.case_count}")
+        print(f"distinct syndromes : {dictionary.syndromes}")
+        print(f"unique resolution  : {dictionary.resolution() * 100:.0f}%")
+        undetected = dictionary.undetected_cases()
+        if undetected:
+            print(f"undetected         : {', '.join(undetected)}")
+        _maybe_print_stats(args, kernel)
+    finally:
+        kernel.close()
     return 0 if not undetected else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .store.campaign import CampaignSpec, run_campaign, summarize, \
+        write_manifest
+
+    spec = CampaignSpec.from_file(args.spec)
+    manifest = run_campaign(
+        spec, store_path=args.store, store_readonly=args.store_readonly
+    )
+    # Persist the artifact before printing: a consumer cutting the
+    # pipe short (| head) must not cost the manifest.
+    path = write_manifest(manifest, args.manifest)
+    print(summarize(manifest))
+    print(f"wrote {path}")
+    return 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -201,16 +246,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_store_options(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--store", metavar="PATH", default=None,
+            help="persistent fault-dictionary store (SQLite): verdicts"
+                 " are read through and written through it, so repeated"
+                 " invocations share simulation work across processes",
+        )
+        command_parser.add_argument(
+            "--store-readonly", action="store_true",
+            help="open the store for lookups only (no verdict writes)",
+        )
+
     def add_kernel_options(command_parser: argparse.ArgumentParser) -> None:
         command_parser.add_argument(
-            "--backend", choices=sorted(BACKENDS), default="serial",
-            help="simulation kernel execution backend",
+            "--backend", choices=sorted(BACKENDS), default=DEFAULT_BACKEND,
+            help="simulation kernel execution backend"
+                 f" (default: {DEFAULT_BACKEND})",
         )
         command_parser.add_argument(
             "--sim-stats", action="store_true",
-            help="print the kernel's cache hit/miss/eviction statistics"
-                 " and the per-backend task routing breakdown",
+            help="print the kernel's cache hit/miss/eviction statistics,"
+                 " the store's second-tier counters (with --store) and"
+                 " the per-backend task routing breakdown",
         )
+        add_store_options(command_parser)
 
     gen = sub.add_parser("generate", help="generate a March test")
     gen.add_argument("faults", nargs="+", help="fault model names (e.g. SAF TF)")
@@ -257,6 +317,19 @@ def build_parser() -> argparse.ArgumentParser:
     diag.add_argument("--size", type=int, default=3)
     add_kernel_options(diag)
     diag.set_defaults(fn=cmd_diagnose)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run a declarative tests x faults x sizes x backends sweep,"
+             " deduplicated through the store",
+    )
+    camp.add_argument("spec", help="campaign spec (JSON file)")
+    camp.add_argument(
+        "--manifest", metavar="PATH", default="campaign_manifest.json",
+        help="where to write the machine-readable results manifest",
+    )
+    add_store_options(camp)
+    camp.set_defaults(fn=cmd_campaign)
 
     export = sub.add_parser("export", help="compile a test to a program")
     export.add_argument("test")

@@ -186,9 +186,9 @@ class FaultPrimitive:
         state; the packed engine handles them through dedicated
         aggressor/victim coupling groups instead of per-lane mask
         rules, and behaviours that are not primitives at all (the
-        stuck-open sense-amplifier latch, which couples every read of
-        every cell through shared analog state) cannot be packed and
-        fall back to the scalar engine.
+        stuck-open sense-amplifier latch, the address-decoder
+        redirects) get their own dedicated word encodings in
+        :mod:`repro.simulator.bitengine` rather than mask transitions.
         """
         return not self.sensitization.is_state
 

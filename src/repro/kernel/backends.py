@@ -218,8 +218,8 @@ class BitParallelBackend(ExecutionBackend):
     evaluated in a single packed run per concrete order variant --
     every fault lane advances with O(1) bitwise operations per march
     step instead of O(n) scalar steps per fault instance.  Unpackable
-    cases (the stuck-open sense-amplifier latch, unknown user-defined
-    instance types) fall back to the scalar serial backend; ``served``
+    cases (unknown user-defined instance types, composite multi-defect
+    injections) fall back to the scalar serial backend; ``served``
     records how many tasks each side handled.
 
     Packed simulations are cached per (case names, size) -- case names

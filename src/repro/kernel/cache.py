@@ -101,6 +101,16 @@ class FaultDictionaryCache:
         self.stats.hits += 1
         return value
 
+    def get_many(self, keys) -> Dict[SimKey, Any]:
+        """Batched lookup: found keys only (the tiered store overrides
+        this to answer all its memory misses in one disk pass)."""
+        found: Dict[SimKey, Any] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                found[key] = value
+        return found
+
     def peek(self, key: SimKey) -> bool:
         """True when ``key`` is cached (no stat or LRU side effects)."""
         return key in self._entries
@@ -113,6 +123,12 @@ class FaultDictionaryCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def put_many(self, pairs) -> None:
+        """Store a batch of verdicts (the tiered store overrides this
+        with one disk transaction; in memory it is just a loop)."""
+        for key, value in pairs:
+            self.put(key, value)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -16,10 +16,14 @@ kernel, which
 * dispatches batched cache misses to a pluggable
   :class:`~repro.kernel.backends.ExecutionBackend` (``serial``,
   ``process`` or the word-packed ``bitparallel``), selectable via
-  ``GeneratorConfig(backend=...)`` or the CLI ``--backend`` flag.
+  ``GeneratorConfig(backend=...)`` or the CLI ``--backend`` flag;
+* optionally layers the persistent fault-dictionary store
+  (:mod:`repro.store`) under the LRU as a write-through/read-through
+  second tier (``store=``/``--store``), so repeated CLI invocations
+  and concurrent processes share verdicts across process boundaries.
 
 Results are bit-identical to the legacy per-call paths; see
-``tests/kernel/`` for the equivalence properties.
+``tests/kernel/`` and ``tests/store/`` for the equivalence properties.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ from ..march.element import AddressOrder, MarchElement
 from ..march.test import MarchTest
 from ..memory.array import MemoryArray
 from ..simulator.engine import MarchRun, is_well_formed, run_march
+from ..store import FaultDictionaryStore, TieredCache, resolve_store
 from .backends import (
     DetectTask,
     ExecutionBackend,
@@ -87,6 +92,14 @@ class SimulationKernel:
     pool:
         Optional shared :class:`MemoryPool`; one is created per kernel
         by default.
+    store:
+        Path to the persistent fault-dictionary store (or a ready
+        :class:`~repro.store.FaultDictionaryStore`), layered under the
+        LRU as a write-through/read-through second tier; ``None``
+        (default) keeps the dictionary purely in-memory.
+    store_readonly:
+        Open the store for lookups only: fresh verdicts stay
+        in-process, nothing is written to disk.
 
     >>> from repro.march.catalog import MATS
     >>> from repro.faults import FaultList
@@ -102,10 +115,22 @@ class SimulationKernel:
         backend: Union[str, ExecutionBackend, None] = None,
         cache_size: int = 1_000_000,
         pool: Optional[MemoryPool] = None,
+        store: Union[str, FaultDictionaryStore, None] = None,
+        store_readonly: bool = False,
     ) -> None:
         self.pool = pool or MemoryPool()
         self.backend = resolve_backend(backend, self.pool)
-        self.cache = FaultDictionaryCache(cache_size)
+        # A store the kernel opened from a path is the kernel's to
+        # close; a caller-provided instance may be shared with other
+        # kernels, so close() must leave it alone.
+        self._owns_store = not isinstance(store, FaultDictionaryStore)
+        self.store = resolve_store(store, readonly=store_readonly)
+        memory = FaultDictionaryCache(cache_size)
+        self.cache: Union[FaultDictionaryCache, TieredCache] = (
+            TieredCache(memory, self.store)
+            if self.store is not None
+            else memory
+        )
 
     @classmethod
     def from_config(cls, config) -> "SimulationKernel":
@@ -113,6 +138,8 @@ class SimulationKernel:
         return cls(
             backend=getattr(config, "backend", None),
             cache_size=getattr(config, "sim_cache_size", 1_000_000),
+            store=getattr(config, "store_path", None),
+            store_readonly=getattr(config, "store_readonly", False),
         )
 
     # -- introspection ----------------------------------------------------------
@@ -123,33 +150,53 @@ class SimulationKernel:
         return self.cache.stats
 
     def describe_stats(self) -> str:
-        """Cache counters plus the backend routing breakdown.
+        """Cache counters, store counters, backend routing breakdown.
 
         The routing part reports how many cache-miss tasks each
         execution strategy actually served (e.g. ``bitparallel`` vs its
-        scalar ``serial`` fallback), so ``--sim-stats`` makes backend
-        dispatch observable rather than a black box.
+        scalar ``serial`` fallback); with a persistent store attached,
+        its second-tier hit/miss/write counters appear too, so
+        ``--sim-stats`` makes every dictionary tier and every dispatch
+        decision observable rather than a black box.
         """
+        parts = [str(self.stats)]
+        if self.store is not None:
+            parts.append(self.store.describe())
         served = getattr(self.backend, "served", None) or {}
         routing = ", ".join(
             f"{name}: {count}" for name, count in sorted(served.items())
         )
-        return (
-            f"{self.stats}; backend [{self.backend.name}]"
+        parts.append(
+            f"backend [{self.backend.name}]"
             f" served {routing if routing else 'no tasks'}"
         )
+        return "; ".join(parts)
 
     def clear(self) -> None:
-        """Drop every cached verdict and reset the stats.
+        """Drop every in-memory verdict and reset ALL the stats.
 
-        Also resets the backend's routing counters so
-        :meth:`describe_stats` never mixes pre- and post-clear runs.
+        Also resets the backend's routing counters and the persistent
+        store's hit/miss/write counters so :meth:`describe_stats` never
+        mixes numbers from two runs.  The store's on-disk *rows* are
+        deliberately kept: dropping the persistent dictionary is an
+        operator action (delete the file), not a cache side effect.
         """
         self.cache.clear()
         self.stats.reset()
         served = getattr(self.backend, "served", None)
         if served is not None:
             served.clear()
+        if self.store is not None:
+            self.store.stats.reset()
+
+    def close(self) -> None:
+        """Release backend resources and, when the kernel opened the
+        store itself (constructed from a path), its connection.
+        Caller-provided store instances stay open: they may be shared
+        with other kernels and are the caller's to close."""
+        self.backend.close()
+        if self.store is not None and self._owns_store:
+            self.store.close()
 
     # -- single-detection API ---------------------------------------------------
 
@@ -274,31 +321,42 @@ class SimulationKernel:
         cases: Sequence[FaultCase],
         size: int,
     ) -> Dict[Tuple[str, str], bool]:
-        """Resolve every (test, case) pair, filling misses in one batch."""
-        verdicts: Dict[Tuple[str, str], bool] = {}
-        pending: List[DetectTask] = []
-        pending_keys: List[SimKey] = []
-        queued: Set[Tuple[str, str]] = set()
+        """Resolve every (test, case) pair, filling misses in one batch.
+
+        Lookups and stores both go through the cache's batched calls
+        (``get_many``/``put_many``): a tiered store answers all the
+        in-memory misses in one disk pass and commits the whole
+        backend batch in one transaction.
+        """
+        lookups: List[Tuple[Tuple[str, str], SimKey, MarchTest,
+                            FaultCase]] = []
+        seen: Set[Tuple[str, str]] = set()
         for test in tests:
             signature = canonical_signature(test)
             for case in cases:
                 pair = (signature, case.name)
-                if pair in verdicts or pair in queued:
+                if pair in seen:
                     continue
-                key = SimKey(signature, case.name, size)
-                cached = self.cache.get(key)
-                if cached is not None:
-                    verdicts[pair] = cached
-                else:
-                    queued.add(pair)
-                    pending.append(DetectTask(test, case, size))
-                    pending_keys.append(key)
+                seen.add(pair)
+                lookups.append(
+                    (pair, SimKey(signature, case.name, size), test, case)
+                )
+        cached = self.cache.get_many([key for _, key, _, _ in lookups])
+        verdicts: Dict[Tuple[str, str], bool] = {}
+        pending: List[DetectTask] = []
+        pending_keys: List[SimKey] = []
+        for pair, key, test, case in lookups:
+            if key in cached:
+                verdicts[pair] = cached[key]
+            else:
+                pending.append(DetectTask(test, case, size))
+                pending_keys.append(key)
         if pending:
             self.stats.batches += 1
             results = self.backend.detect_batch(pending)
-            for key, task, verdict in zip(pending_keys, pending, results):
-                self.cache.put(key, verdict)
-                verdicts[(key.signature, task.case.name)] = verdict
+            self.cache.put_many(list(zip(pending_keys, results)))
+            for key, verdict in zip(pending_keys, results):
+                verdicts[(key.signature, key.case)] = verdict
         return verdicts
 
     # -- generator-facing verification -----------------------------------------

@@ -31,13 +31,16 @@ as bitwise updates conditioned only on fixed cells of its own lane:
 * coupling faults (CFid, CFin, CFst, CFrd) become per-aggressor-address
   victim-update groups;
 * address-decoder faults B/C/D become per-address write/read redirect
-  and combine groups.
+  and combine groups;
+* the stuck-open fault (SOF) packs through a dedicated per-lane *latch
+  word*: each SOF lane carries one bit of shared sense-amplifier state
+  that every read of a healthy cell reloads and every read of the open
+  cell reports, so the "previous read" coupling that is non-local in
+  cell space is still one bit per lane in lane space.
 
-The stuck-open fault (SOF) is **not** packable: its sense-amplifier
-latch couples the value returned by every read of every cell through
-shared analog state, which breaks the per-cell mask locality the word
-encoding relies on.  Unknown instance types (user-defined faults,
-composite multi-defect injections) are conservatively unpackable too.
+Unknown instance types (user-defined faults, composite multi-defect
+injections) are conservatively unpackable: a subclass may override any
+behavioural hook, so only exactly-known types are encoded.
 :func:`lane_packable_case` is the partition predicate; the
 ``bitparallel`` kernel backend routes unpackable cases to the scalar
 serial engine (see :mod:`repro.kernel.backends`).
@@ -64,6 +67,7 @@ from ..faults.instances import (
     ReadDisturbInstance,
     SharedCellAccessInstance,
     StuckAtInstance,
+    StuckOpenInstance,
     TransitionFaultInstance,
     WriteDisturbInstance,
     WrongCellAccessInstance,
@@ -131,6 +135,15 @@ class LanePlan:
         ]
         #: CFrd: victims forced by any read of the aggressor.
         self.cf_read: List[List[Tuple[int, int, int]]] = [[] for _ in range(n)]
+        # Stuck-open sense-amplifier latch: per-lane shared read state.
+        #: Lanes whose open cell is ``c``: reads of ``c`` report the
+        #: latch word and writes to ``c`` are lost (also in write_lost).
+        self.sof_cell = [0] * n
+        #: Union of all SOF lanes; a read of any *other* cell reloads
+        #: their latch bit with the value the lane observed.
+        self.sof_lanes = 0
+        #: Power-up latch content per lane (adversarially enumerated).
+        self.sof_latch_init = 0
         # Address-decoder redirections.
         self.write_redirect: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         self.write_echo: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
@@ -220,6 +233,18 @@ def _enc_retention(inst: DataRetentionInstance, plan: LanePlan,
         plan.add_rule(inst.cell, m, rule)
 
 
+def _enc_stuck_open(inst: StuckOpenInstance, plan: LanePlan, m: int) -> None:
+    # SOF: the cell line is open.  Writes to the cell are lost; reads
+    # of it report the lane's sense-amplifier latch bit, which every
+    # read of a healthy cell reloads with the value it returned.  The
+    # freshly-constructed instance's ``latch`` is the power-up content.
+    plan.write_lost[inst.cell] |= m
+    plan.sof_cell[inst.cell] |= m
+    plan.sof_lanes |= m
+    if inst.latch:
+        plan.sof_latch_init |= m
+
+
 def _enc_cfid(inst: CouplingIdempotentInstance, plan: LanePlan,
               m: int) -> None:
     written = 1 if inst.rising else 0
@@ -278,6 +303,7 @@ _ENCODERS: Dict[Type, Callable[[object, LanePlan, int], None]] = {
     IncorrectReadInstance: _enc_incorrect_read,
     WriteDisturbInstance: _enc_write_disturb,
     DataRetentionInstance: _enc_retention,
+    StuckOpenInstance: _enc_stuck_open,
     CouplingIdempotentInstance: _enc_cfid,
     CouplingInversionInstance: _enc_cfin,
     CouplingStateInstance: _enc_cfst,
@@ -363,6 +389,8 @@ class PackedSimulation:
         detected = 0
         stuck0, stuck1 = plan.stuck0, plan.stuck1
         dead0, dead1 = plan.dead0, plan.dead1
+        sof_lanes = plan.sof_lanes
+        latch = plan.sof_latch_init
         for element in test.elements:
             if isinstance(element, DelayElement):
                 for cell, mask, old in plan.wait_rules:
@@ -495,6 +523,24 @@ class PackedSimulation:
                         else:
                             value[victim] &= ~mask
                         defined[victim] |= mask
+                    if sof_lanes:
+                        sof_here = plan.sof_cell[a]
+                        if sof_here:
+                            # Reading the open cell reports the latch
+                            # (always a definite binary value).
+                            reported = (reported & ~sof_here) | (
+                                latch & sof_here
+                            )
+                            reported_def |= sof_here
+                        tracking = sof_lanes & ~sof_here
+                        if tracking:
+                            # Reading a healthy cell reloads the latch
+                            # with the observed value where definite.
+                            reloaded = tracking & defined[a]
+                            if reloaded:
+                                latch = (latch & ~reloaded) | (
+                                    value[a] & reloaded
+                                )
                     if v is not None:
                         expected = full if v else 0
                         detected |= (reported ^ expected) & reported_def

@@ -1,0 +1,41 @@
+"""Persistent fault-dictionary store + campaign runner subsystem.
+
+* :mod:`repro.store.store` -- the SQLite-backed, concurrency-safe,
+  schema-versioned verdict store (WAL, atomic upserts keyed by
+  ``SimKey``, corrupt-file quarantine-and-rebuild, readonly mode);
+* :mod:`repro.store.tiered` -- the write-through/read-through second
+  tier the kernel layers under its in-memory LRU;
+* :mod:`repro.store.campaign` -- the declarative batch runner behind
+  ``repro campaign`` (import it directly: it depends on the kernel
+  package, which imports *this* package at startup).
+
+See the README section "Persistent results & campaigns".
+"""
+
+from .store import (
+    BUSY_TIMEOUT_SECONDS,
+    SCHEMA_VERSION,
+    CorruptStoreError,
+    FaultDictionaryStore,
+    StoreError,
+    StoreSchemaError,
+    StoreStats,
+    decode_verdict,
+    encode_verdict,
+    resolve_store,
+)
+from .tiered import TieredCache
+
+__all__ = [
+    "BUSY_TIMEOUT_SECONDS",
+    "CorruptStoreError",
+    "FaultDictionaryStore",
+    "SCHEMA_VERSION",
+    "StoreError",
+    "StoreSchemaError",
+    "StoreStats",
+    "TieredCache",
+    "decode_verdict",
+    "encode_verdict",
+    "resolve_store",
+]

@@ -1,0 +1,296 @@
+"""Declarative simulation campaigns over the persistent store.
+
+A *campaign* is the production shape of the repository's workloads: a
+batch job that sweeps ``tests x fault models x sizes x backends``
+through the simulation kernel, deduplicating every verdict through the
+persistent fault-dictionary store (two jobs probing the same (test,
+case, size) pair simulate it once, ever -- even across campaigns and
+processes) and emitting a machine-readable *results manifest* that
+downstream tooling (CI artifact diffing, dashboards, regression bots)
+can consume without scraping CLI output.
+
+The spec is plain JSON (see ``examples/campaign_table3.json``)::
+
+    {
+      "name": "table3-sweep",
+      "tests": ["MATS", "MarchC-", "{up(w0); up(r0,w1); down(r1)}"],
+      "faults": ["SAF", "TF", "ADF"],
+      "sizes": [3, 4],
+      "backends": ["bitparallel"]
+    }
+
+``tests`` accepts catalog names or literal March notation; ``faults``
+are fault-model names; ``sizes``/``backends`` default to ``[3]`` /
+``["bitparallel"]``.  An optional ``"store"`` field names the
+dictionary file (the CLI ``--store`` flag overrides it).
+
+This module depends on :mod:`repro.kernel`, which imports the store
+package at startup -- import it as ``repro.store.campaign`` directly,
+never from ``repro.store``'s namespace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..faults.faultlist import FaultList
+from ..faults.library import MODEL_REGISTRY
+from ..kernel import BACKENDS, SimulationKernel
+from ..march.catalog import by_name
+from ..march.test import MarchTest, parse_march
+
+#: Generation of the manifest payload layout.
+MANIFEST_SCHEMA = 1
+
+DEFAULT_MANIFEST_NAME = "campaign_manifest.json"
+
+
+class CampaignSpecError(ValueError):
+    """The campaign spec is malformed."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated, immutable campaign description."""
+
+    name: str
+    tests: Tuple[str, ...]
+    faults: Tuple[str, ...]
+    sizes: Tuple[int, ...] = (3,)
+    backends: Tuple[str, ...] = ("bitparallel",)
+    store: Optional[str] = None
+
+    _KNOWN_KEYS = frozenset(
+        {"name", "tests", "faults", "sizes", "backends", "store"}
+    )
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise CampaignSpecError("campaign spec must be a JSON object")
+        unknown = set(data) - cls._KNOWN_KEYS
+        if unknown:
+            raise CampaignSpecError(
+                f"unknown campaign spec keys: {sorted(unknown)};"
+                f" known: {sorted(cls._KNOWN_KEYS)}"
+            )
+        try:
+            tests = tuple(data["tests"])
+            faults = tuple(data["faults"])
+        except KeyError as missing:
+            raise CampaignSpecError(
+                f"campaign spec requires the {missing} key"
+            ) from None
+        if not tests or not all(isinstance(t, str) for t in tests):
+            raise CampaignSpecError("'tests' must be non-empty strings")
+        if not faults:
+            raise CampaignSpecError("'faults' must name at least one model")
+        for model in faults:
+            if not isinstance(model, str):
+                raise CampaignSpecError(
+                    f"fault model names must be strings, got {model!r}"
+                )
+            if model.upper() not in MODEL_REGISTRY:
+                raise CampaignSpecError(
+                    f"unknown fault model {model!r};"
+                    f" known: {sorted(MODEL_REGISTRY)}"
+                )
+        sizes = tuple(data.get("sizes", (3,)))
+        if not sizes or not all(
+            isinstance(s, int) and not isinstance(s, bool) and s > 0
+            for s in sizes
+        ):
+            raise CampaignSpecError("'sizes' must be positive integers")
+        backends = tuple(data.get("backends", ("bitparallel",)))
+        for backend in backends:
+            if backend not in BACKENDS:
+                raise CampaignSpecError(
+                    f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
+                )
+        store = data.get("store")
+        return cls(
+            name=str(data.get("name", "campaign")),
+            tests=tests,
+            faults=tuple(f.upper() for f in faults),
+            sizes=sizes,
+            backends=backends,
+            store=str(store) if store is not None else None,
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as error:
+            raise CampaignSpecError(
+                f"cannot read campaign spec {path}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise CampaignSpecError(
+                f"campaign spec {path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(data)
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolved_tests(self) -> List[MarchTest]:
+        """Catalog names or literal March notation, in spec order."""
+        resolved = []
+        for text in self.tests:
+            try:
+                resolved.append(by_name(text))
+            except KeyError:
+                resolved.append(parse_march(text, name=text))
+        return resolved
+
+    def fault_list(self) -> FaultList:
+        return FaultList.from_names(*self.faults)
+
+    def jobs(self) -> Iterator[Tuple[str, int]]:
+        """(backend, size) pairs, backends outermost.
+
+        Sizes vary fastest so one backend finishes populating the
+        store for every size before the next backend starts -- which
+        makes the later backends' jobs pure dictionary lookups.
+        """
+        return product(self.backends, self.sizes)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: Optional[str] = None,
+    store_readonly: bool = False,
+) -> Dict[str, Any]:
+    """Execute every job of ``spec``; return the results manifest.
+
+    Each (backend, size) job runs on a **fresh** kernel -- cold LRU,
+    its own store connection -- so all cross-job deduplication flows
+    through the persistent store, exactly like separate CLI
+    invocations would.  Verdict identity across backends is the
+    kernel's equivalence contract, so sharing rows between them is
+    sound.
+    """
+    tests = spec.resolved_tests()
+    faults = spec.fault_list()
+    store = store_path if store_path is not None else spec.store
+
+    jobs: List[Dict[str, Any]] = []
+    results: List[Dict[str, Any]] = []
+    started_campaign = time.perf_counter()
+    for backend, size in spec.jobs():
+        kernel = SimulationKernel(
+            backend=backend, store=store, store_readonly=store_readonly
+        )
+        try:
+            cases = faults.instances(size)
+            started = time.perf_counter()
+            reports = kernel.simulate_many(tests, cases, size)
+            seconds = time.perf_counter() - started
+            for test, report in zip(tests, reports):
+                results.append({
+                    "test": test.name or str(test),
+                    "notation": str(test),
+                    "size": size,
+                    "backend": backend,
+                    "fault_cases": len(cases),
+                    "detected": len(report.detected),
+                    "missed": list(report.missed),
+                    "coverage": report.coverage,
+                })
+            job: Dict[str, Any] = {
+                "backend": backend,
+                "size": size,
+                "fault_cases": len(cases),
+                "seconds": seconds,
+                "cache": {
+                    "hits": kernel.stats.hits,
+                    "misses": kernel.stats.misses,
+                },
+                "served": dict(
+                    getattr(kernel.backend, "served", None) or {}
+                ),
+            }
+            if kernel.store is not None:
+                job["store"] = {
+                    "hits": kernel.store.stats.hits,
+                    "misses": kernel.store.stats.misses,
+                    "writes": kernel.store.stats.writes,
+                    "skipped_writes": kernel.store.stats.skipped_writes,
+                }
+            jobs.append(job)
+        finally:
+            kernel.close()
+
+    simulated = sum(sum(job["served"].values()) for job in jobs)
+    store_hits = sum(job.get("store", {}).get("hits", 0) for job in jobs)
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "campaign": spec.name,
+        "generated_unix": round(time.time(), 3),
+        # JSON-native echo of the spec (tuples become lists).
+        "spec": {
+            field: list(value) if isinstance(value, tuple) else value
+            for field, value in asdict(spec).items()
+        },
+        "store": str(store) if store is not None else None,
+        "store_readonly": store_readonly,
+        "jobs": jobs,
+        "results": results,
+        "totals": {
+            "jobs": len(jobs),
+            "results": len(results),
+            "verdicts_simulated": simulated,
+            "verdicts_from_store": store_hits,
+            "seconds": time.perf_counter() - started_campaign,
+        },
+    }
+
+
+def write_manifest(
+    manifest: Dict[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write the manifest JSON (stable key order) and return its path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def summarize(manifest: Dict[str, Any]) -> str:
+    """The human-readable campaign summary the CLI prints."""
+    lines = []
+    totals = manifest["totals"]
+    lines.append(
+        f"campaign '{manifest['campaign']}':"
+        f" {totals['jobs']} jobs, {totals['results']} results,"
+        f" {totals['verdicts_simulated']} verdicts simulated,"
+        f" {totals['verdicts_from_store']} from the store,"
+        f" {totals['seconds']:.2f}s"
+    )
+    for job in manifest["jobs"]:
+        store = job.get("store")
+        store_text = (
+            f"  store {store['hits']}h/{store['writes']}w"
+            if store is not None
+            else ""
+        )
+        lines.append(
+            f"  job [{job['backend']} @ size {job['size']}]"
+            f" {job['fault_cases']} cases {job['seconds'] * 1e3:8.1f} ms"
+            f"{store_text}"
+        )
+    for row in manifest["results"]:
+        lines.append(
+            f"  {row['test']:12s} size {row['size']}"
+            f" {row['backend']:12s}"
+            f" {row['detected']:4d}/{row['fault_cases']:<4d}"
+            f" {row['coverage'] * 100:5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,422 @@
+"""The persistent fault-dictionary store.
+
+PR 1 made one *process* fast: every simulation verdict is memoized in
+the kernel's in-memory LRU under a :class:`~repro.kernel.cache.SimKey`.
+But the cache dies with the process, so every new CLI invocation
+starts cold and re-simulates verdicts computed thousands of times
+before.  This module spills the fault dictionary to disk: an SQLite
+database (WAL journal, so concurrent readers never block the writer)
+whose single ``verdicts`` table is keyed by exactly the four ``SimKey``
+fields.  Layered under the LRU as a read-through/write-through second
+tier (:class:`~repro.store.tiered.TieredCache`), it makes repeated CLI
+invocations -- and many processes hammering one shared dictionary --
+share verdicts instead of re-deriving them.
+
+Verdicts are stored as compact signature-keyed rows, not raw matrices:
+a detection verdict is one byte (``"1"``/``"0"``), a diagnosis
+syndrome a canonical JSON row.  The row format is versioned
+(``SCHEMA_VERSION`` in the ``meta`` table); a store written by a
+different schema generation is **refused**, never silently migrated or
+overwritten -- the operator decides.
+
+Durability rules
+----------------
+* every ``put``/``put_many`` is one atomic SQLite transaction (atomic
+  upsert: ``INSERT .. ON CONFLICT DO UPDATE``);
+* opening runs ``PRAGMA quick_check``; a corrupt or truncated file is
+  *quarantined* (renamed to ``<name>.corrupt-N`` next to the store)
+  and a fresh store is rebuilt in its place, so a damaged dictionary
+  costs a cold start, never a crash or a wrong verdict;
+* ``readonly=True`` opens an existing store for lookups only
+  (``PRAGMA query_only``): writes become counted no-ops, corruption is
+  reported instead of repaired.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..kernel.cache import SimKey
+
+#: Generation of the on-disk row format.  Bump when the ``verdicts``
+#: schema or the verdict encoding changes incompatibly; old stores are
+#: refused with :class:`StoreSchemaError` rather than misread.
+SCHEMA_VERSION = 1
+
+#: How long one connection waits on a writer lock before giving up.
+BUSY_TIMEOUT_SECONDS = 30.0
+
+
+class StoreError(RuntimeError):
+    """The fault-dictionary store cannot serve the request."""
+
+
+class StoreSchemaError(StoreError):
+    """The on-disk store was written by an incompatible schema
+    generation (or is a foreign SQLite database)."""
+
+
+class CorruptStoreError(StoreError):
+    """The store file failed SQLite's integrity check and could not be
+    quarantined (e.g. readonly mode)."""
+
+
+# -- verdict encoding ----------------------------------------------------------
+#
+# The store holds two value shapes: worst-case detection verdicts
+# (bool; domains "sp"/"2p") and diagnosis syndromes (frozensets of
+# (element, op, address, actual) failure tuples; domain "syn").  Both
+# encodings are canonical -- equal values encode to equal rows -- so
+# upserts are idempotent and byte-identity survives the round trip.
+
+_TRUE, _FALSE, _SYNDROME = "1", "0", "S"
+
+
+def encode_verdict(value: Any) -> str:
+    if value is True:
+        return _TRUE
+    if value is False:
+        return _FALSE
+    if isinstance(value, frozenset):
+        rows = sorted(
+            (list(failure) for failure in value),
+            key=lambda row: row[:3],  # (element, op, address) is unique
+        )
+        return _SYNDROME + json.dumps(rows, separators=(",", ":"))
+    raise StoreError(
+        f"cannot persist a verdict of type {type(value).__name__}"
+    )
+
+
+def decode_verdict(text: str) -> Any:
+    if text == _TRUE:
+        return True
+    if text == _FALSE:
+        return False
+    if text.startswith(_SYNDROME):
+        return frozenset(
+            tuple(row) for row in json.loads(text[len(_SYNDROME):])
+        )
+    raise StoreError(f"unrecognized verdict row {text!r}")
+
+
+@dataclass
+class StoreStats:
+    """Lookup/write counters of one store connection.
+
+    ``skipped_writes`` counts puts dropped by readonly mode, so
+    ``--sim-stats`` makes a misconfigured read-only campaign visible.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    skipped_writes: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.writes = self.skipped_writes = 0
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.hits} hits / {self.misses} misses,"
+            f" {self.writes} writes"
+        )
+        if self.skipped_writes:
+            text += f" ({self.skipped_writes} skipped: readonly)"
+        return text
+
+
+class FaultDictionaryStore:
+    """A concurrency-safe, disk-backed fault dictionary.
+
+    One instance owns one SQLite connection.  Any number of processes
+    may share the same path: WAL journaling plus per-statement upsert
+    transactions keep concurrent writers atomic, and a busy timeout
+    absorbs short lock contention.
+
+    >>> import tempfile, pathlib
+    >>> from repro.kernel.cache import SimKey
+    >>> path = pathlib.Path(tempfile.mkdtemp()) / "dict.sqlite"
+    >>> store = FaultDictionaryStore(path)
+    >>> key = SimKey("{up(w0)}", "SA0@0", 3)
+    >>> store.put(key, True)
+    >>> store.get(key)
+    True
+    >>> store.close()
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        readonly: bool = False,
+        timeout: float = BUSY_TIMEOUT_SECONDS,
+    ) -> None:
+        self.path = Path(path)
+        self.readonly = readonly
+        self.timeout = timeout
+        self.stats = StoreStats()
+        #: Set to the quarantine path when a corrupt file was set aside.
+        self.quarantined: Optional[Path] = None
+        self._lock = threading.Lock()
+        self._conn = self._open()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _open(self) -> sqlite3.Connection:
+        if self.readonly and not self.path.exists():
+            raise StoreError(
+                f"readonly store {self.path} does not exist;"
+                " run once without --store-readonly to build it"
+            )
+        try:
+            return self._connect_and_check()
+        except StoreSchemaError:
+            raise  # refusal, never quarantine: the file is healthy
+        except (sqlite3.DatabaseError, CorruptStoreError) as error:
+            if self.readonly:
+                raise CorruptStoreError(
+                    f"readonly store {self.path} is corrupt: {error}"
+                ) from error
+            self._quarantine()
+            return self._connect_and_check()
+
+    def _connect_and_check(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            str(self.path),
+            timeout=self.timeout,
+            isolation_level=None,  # autocommit; explicit BEGIN in batches
+            check_same_thread=False,
+        )
+        try:
+            conn.execute(
+                f"PRAGMA busy_timeout = {int(self.timeout * 1000)}"
+            )
+            if self.readonly:
+                conn.execute("PRAGMA query_only = ON")
+            else:
+                conn.execute("PRAGMA journal_mode = WAL")
+                conn.execute("PRAGMA synchronous = NORMAL")
+            check = conn.execute("PRAGMA quick_check").fetchone()
+            if check is None or check[0] != "ok":
+                raise CorruptStoreError(
+                    f"integrity check failed: {check and check[0]}"
+                )
+            self._check_or_init_schema(conn)
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _check_or_init_schema(self, conn: sqlite3.Connection) -> None:
+        tables = conn.execute("SELECT count(*) FROM sqlite_master").fetchone()
+        if tables[0] == 0:
+            if self.readonly:  # pragma: no cover - exists() raced away
+                raise StoreError(f"readonly store {self.path} is empty")
+            conn.executescript(
+                """
+                CREATE TABLE meta (
+                    key   TEXT PRIMARY KEY,
+                    value TEXT NOT NULL
+                );
+                CREATE TABLE verdicts (
+                    signature TEXT    NOT NULL,
+                    case_name TEXT    NOT NULL,
+                    size      INTEGER NOT NULL,
+                    domain    TEXT    NOT NULL,
+                    verdict   TEXT    NOT NULL,
+                    PRIMARY KEY (signature, case_name, size, domain)
+                ) WITHOUT ROWID;
+                """
+            )
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            return
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone() if self._has_table(conn, "meta") else None
+        if row is None or not self._has_table(conn, "verdicts"):
+            raise StoreSchemaError(
+                f"{self.path} is not a fault-dictionary store"
+                " (missing meta/verdicts tables)"
+            )
+        if row[0] != str(SCHEMA_VERSION):
+            raise StoreSchemaError(
+                f"{self.path} uses store schema {row[0]},"
+                f" this build reads schema {SCHEMA_VERSION};"
+                " refusing to touch it (move the file aside to rebuild)"
+            )
+
+    @staticmethod
+    def _has_table(conn: sqlite3.Connection, name: str) -> bool:
+        return conn.execute(
+            "SELECT 1 FROM sqlite_master WHERE type='table' AND name=?",
+            (name,),
+        ).fetchone() is not None
+
+    def _quarantine(self) -> None:
+        """Set the damaged file (and WAL droppings) aside, keep going."""
+        suffix = 0
+        while True:
+            target = self.path.with_name(
+                f"{self.path.name}.corrupt-{suffix}"
+            )
+            if not target.exists():
+                break
+            suffix += 1
+        os.replace(self.path, target)
+        for dropping in (
+            self.path.with_name(self.path.name + "-wal"),
+            self.path.with_name(self.path.name + "-shm"),
+        ):
+            try:
+                dropping.unlink()
+            except FileNotFoundError:
+                pass
+        self.quarantined = target
+
+    def close(self) -> None:
+        """Checkpoint the WAL and release the connection (idempotent)."""
+        conn, self._conn = self._conn, None
+        if conn is None:
+            return
+        if not self.readonly:
+            try:
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:  # pragma: no cover - checkpoint is advisory
+                pass
+        conn.close()
+
+    def __enter__(self) -> "FaultDictionaryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- lookups ----------------------------------------------------------------
+
+    _SELECT = (
+        "SELECT verdict FROM verdicts"
+        " WHERE signature=? AND case_name=? AND size=? AND domain=?"
+    )
+
+    def get(self, key: "SimKey", default: Any = None) -> Any:
+        """Look up one verdict, counting the hit or miss."""
+        with self._lock:
+            row = self._conn.execute(
+                self._SELECT, (key.signature, key.case, key.size, key.domain)
+            ).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return decode_verdict(row[0])
+
+    def get_many(self, keys: Iterable["SimKey"]) -> Dict["SimKey", Any]:
+        """Point-look up many keys; absent keys are simply not returned."""
+        found: Dict["SimKey", Any] = {}
+        with self._lock:
+            cursor = self._conn.cursor()
+            for key in keys:
+                row = cursor.execute(
+                    self._SELECT,
+                    (key.signature, key.case, key.size, key.domain),
+                ).fetchone()
+                if row is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+                    found[key] = decode_verdict(row[0])
+        return found
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT count(*) FROM verdicts"
+            ).fetchone()[0]
+
+    def __contains__(self, key: "SimKey") -> bool:
+        with self._lock:
+            return self._conn.execute(
+                self._SELECT, (key.signature, key.case, key.size, key.domain)
+            ).fetchone() is not None
+
+    # -- writes -----------------------------------------------------------------
+
+    _UPSERT = (
+        "INSERT INTO verdicts (signature, case_name, size, domain, verdict)"
+        " VALUES (?, ?, ?, ?, ?)"
+        " ON CONFLICT (signature, case_name, size, domain)"
+        " DO UPDATE SET verdict = excluded.verdict"
+    )
+
+    def put(self, key: "SimKey", value: Any) -> None:
+        """Atomically upsert one verdict (no-op in readonly mode)."""
+        if self.readonly:
+            self.stats.skipped_writes += 1
+            return
+        row = (
+            key.signature, key.case, key.size, key.domain,
+            encode_verdict(value),
+        )
+        with self._lock:
+            self._conn.execute(self._UPSERT, row)
+        self.stats.writes += 1
+
+    def put_many(self, pairs: Sequence[Tuple["SimKey", Any]]) -> None:
+        """Upsert a batch in one transaction: all land or none do."""
+        if not pairs:
+            return
+        if self.readonly:
+            self.stats.skipped_writes += len(pairs)
+            return
+        rows = [
+            (key.signature, key.case, key.size, key.domain,
+             encode_verdict(value))
+            for key, value in pairs
+        ]
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.executemany(self._UPSERT, rows)
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+        self.stats.writes += len(rows)
+
+    # -- description ------------------------------------------------------------
+
+    def describe(self) -> str:
+        mode = " readonly" if self.readonly else ""
+        return f"store [{self.path.name}{mode}]: {self.stats}"
+
+
+def resolve_store(
+    store: "Union[str, Path, FaultDictionaryStore, None]",
+    readonly: bool = False,
+) -> Optional[FaultDictionaryStore]:
+    """Turn a store path (or ready instance, or ``None``) into a store."""
+    if store is None:
+        return None
+    if isinstance(store, FaultDictionaryStore):
+        return store
+    return FaultDictionaryStore(store, readonly=readonly)

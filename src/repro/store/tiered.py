@@ -1,0 +1,129 @@
+"""Two-tier fault dictionary: in-memory LRU over the persistent store.
+
+The kernel talks to one cache object.  Without a store that object is
+the plain :class:`~repro.kernel.cache.FaultDictionaryCache`; with one,
+it is this :class:`TieredCache`, which keeps the LRU as the first tier
+and the SQLite store as the second:
+
+* **read-through** -- a memory miss falls through to the store; a
+  store hit is promoted into the LRU so the next lookup is pure
+  in-process;
+* **write-through** -- every fresh verdict lands in both tiers in the
+  same call, so a crashed or killed process never loses completed
+  simulation work.
+
+The tier split keeps the hot-path cost model of PR 1 intact (LRU hits
+never touch SQLite) while making a *second* process start warm: its
+LRU is empty but every lookup the first process answered is one
+indexed point ``SELECT`` away.
+
+Stat hygiene: ``stats`` (the LRU counters) and ``store_stats`` are
+separate, and :meth:`clear` resets both while leaving the on-disk rows
+alone -- dropping the persistent dictionary is an operator action
+(delete the file), not a cache-management side effect.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Sequence, Tuple
+
+from .store import FaultDictionaryStore, StoreStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..kernel.cache import FaultDictionaryCache, KernelStats, SimKey
+
+
+class TieredCache:
+    """Write-through/read-through LRU + store composition.
+
+    Drop-in for :class:`FaultDictionaryCache` wherever the kernel uses
+    one; the extra surface (``store``, ``store_stats``) is what
+    ``--sim-stats`` and :meth:`SimulationKernel.describe_stats` report.
+    """
+
+    def __init__(
+        self,
+        memory: "FaultDictionaryCache",
+        store: FaultDictionaryStore,
+    ) -> None:
+        self.memory = memory
+        self.store = store
+
+    # -- tier-1 introspection (FaultDictionaryCache surface) --------------------
+
+    @property
+    def stats(self) -> "KernelStats":
+        return self.memory.stats
+
+    @property
+    def store_stats(self) -> StoreStats:
+        return self.store.stats
+
+    @property
+    def max_entries(self) -> int:
+        return self.memory.max_entries
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def __contains__(self, key: "SimKey") -> bool:
+        return key in self.memory or key in self.store
+
+    def peek(self, key: "SimKey") -> bool:
+        """True when either tier holds ``key`` (no stat side effects)."""
+        return self.memory.peek(key) or key in self.store
+
+    def snapshot(self) -> Dict["SimKey", Any]:
+        """The in-memory tier's entries (diagnostics)."""
+        return self.memory.snapshot()
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, key: "SimKey", default: Any = None) -> Any:
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        value = self.store.get(key)
+        if value is None:
+            return default
+        # Promote without writing back: the store already has the row.
+        self.memory.put(key, value)
+        return value
+
+    def get_many(self, keys: Sequence["SimKey"]) -> Dict["SimKey", Any]:
+        """Batched lookup: LRU first, then one store pass (single lock
+        acquisition) for all the memory misses, with promotion."""
+        found: Dict["SimKey", Any] = {}
+        missing = []
+        for key in keys:
+            value = self.memory.get(key)
+            if value is not None:
+                found[key] = value
+            else:
+                missing.append(key)
+        if missing:
+            from_store = self.store.get_many(missing)
+            for key, value in from_store.items():
+                self.memory.put(key, value)
+            found.update(from_store)
+        return found
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, key: "SimKey", value: Any) -> None:
+        self.memory.put(key, value)
+        self.store.put(key, value)
+
+    def put_many(self, pairs: Sequence[Tuple["SimKey", Any]]) -> None:
+        for key, value in pairs:
+            self.memory.put(key, value)
+        self.store.put_many(pairs)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop the in-memory tier; persistent rows survive."""
+        self.memory.clear()
+
+    def close(self) -> None:
+        self.store.close()

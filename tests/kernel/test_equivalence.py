@@ -127,9 +127,9 @@ def test_two_port_domain_matches_differential_simulator():
 def test_bitparallel_matrix_byte_identical_to_serial(size, full_library):
     """Acceptance criterion of the bit-parallel backend.
 
-    The full standard library deliberately includes SOF (unpackable:
-    the sense-amplifier latch falls back to the scalar engine), so the
-    property also covers the packable/unpackable routing seam.
+    The full standard library includes SOF, whose sense-amplifier
+    latch packs through the per-lane latch word, so every standard
+    model rides the word-packed path here.
     """
     serial = SimulationKernel(backend="serial").detection_matrix(
         TESTS, full_library, size
@@ -145,11 +145,28 @@ def test_bitparallel_matrix_byte_identical_to_serial(size, full_library):
 
 
 def test_bitparallel_routes_both_ways(full_library):
+    from repro.faults.instances import case
+    from repro.memory.array import NullFaultInstance
+
+    class CustomInstance(NullFaultInstance):
+        """Unknown type: must route to the scalar fallback."""
+
     kernel = SimulationKernel(backend="bitparallel")
-    kernel.detection_matrix(TESTS, full_library, 3)
+    cases = list(full_library.instances(3)) + [case("custom", CustomInstance)]
+    kernel.detection_matrix(TESTS, cases, 3)
     served = kernel.backend.served
     assert served.get("bitparallel", 0) > 0, "no packed tasks"
-    assert served.get("serial", 0) > 0, "SOF should fall back to scalar"
+    assert served.get("serial", 0) > 0, (
+        "unknown instance types should fall back to scalar"
+    )
+
+
+def test_bitparallel_serves_whole_standard_library_packed(full_library):
+    # Since SOF gained its latch-word encoding, no standard model
+    # needs the scalar fallback.
+    kernel = SimulationKernel(backend="bitparallel")
+    kernel.detection_matrix(TESTS, full_library, 3)
+    assert kernel.backend.served.get("serial", 0) == 0
 
 
 def test_bitparallel_simulation_report_identical(full_library):

@@ -218,19 +218,22 @@ class TestBitParallelBackend:
         assert packed == serial
 
     def test_served_counters_split_by_routing(self):
-        # SAF packs; SOF falls back to the scalar engine.
+        # SAF packs; an unknown instance type falls back to scalar.
+        from repro.faults.instances import case
+        from repro.memory.array import NullFaultInstance
+
+        class CustomInstance(NullFaultInstance):
+            pass
+
         kernel = SimulationKernel(backend="bitparallel")
-        mixed = FaultList.from_names("SAF", "SOF")
-        report = kernel.simulate_fault_list(MATS, mixed, 3)
-        saf_cases = len(FaultList.from_names("SAF").instances(3))
-        sof_cases = len(FaultList.from_names("SOF").instances(3))
+        saf_cases = FaultList.from_names("SAF").instances(3)
+        cases = list(saf_cases) + [case("custom", CustomInstance)]
+        report = kernel.simulate(MATS, cases, 3)
         assert kernel.backend.served == {
-            "bitparallel": saf_cases,
-            "serial": sof_cases,
+            "bitparallel": len(saf_cases),
+            "serial": 1,
         }
-        assert len(report.detected) + len(report.missed) == (
-            saf_cases + sof_cases
-        )
+        assert len(report.detected) + len(report.missed) == len(cases)
 
     def test_describe_stats_reports_routing_and_evictions(self):
         kernel = SimulationKernel(backend="bitparallel")

@@ -11,7 +11,7 @@ the worst-case conjunction across order variants.
 import pytest
 
 from repro.faults.faultlist import FaultList
-from repro.faults.instances import FaultCase, StuckOpenInstance, case
+from repro.faults.instances import FaultCase, case
 from repro.faults.library import MODEL_REGISTRY
 from repro.faults.primitives import (
     Effect,
@@ -97,11 +97,12 @@ class TestMaskTransitions:
 
 
 class TestPartition:
-    def test_standard_models_pack_except_stuck_open(self):
+    def test_every_standard_model_packs(self):
+        # Since the per-lane latch word landed, SOF packs too: the
+        # whole standard library runs word-packed.
         for name, model_cls in MODEL_REGISTRY.items():
             for fault_case in model_cls().instances(3):
-                expected = name != "SOF"
-                assert lane_packable_case(fault_case) == expected, (
+                assert lane_packable_case(fault_case), (
                     name, fault_case.name,
                 )
 
@@ -125,17 +126,24 @@ class TestPartition:
         assert not lane_packable_case(weird)
 
     def test_partition_preserves_order(self):
+        class CustomInstance(NullFaultInstance):
+            pass
+
         saf = FaultList.from_names("SAF").instances(3)
-        sof = FaultList.from_names("SOF").instances(3)
-        mixed = [saf[0], sof[0], saf[1], sof[1]]
+        custom = [case("custom@0", CustomInstance),
+                  case("custom@1", CustomInstance)]
+        mixed = [saf[0], custom[0], saf[1], custom[1]]
         packable, unpackable = partition_cases(mixed)
         assert packable == [saf[0], saf[1]]
-        assert unpackable == [sof[0], sof[1]]
+        assert unpackable == custom
 
     def test_packed_simulation_rejects_unpackable_cases(self):
-        sof = case("sof", lambda: StuckOpenInstance(0, 0))
-        with pytest.raises(UnpackableFaultError, match="StuckOpenInstance"):
-            PackedSimulation([sof], 3)
+        class CustomInstance(NullFaultInstance):
+            pass
+
+        unknown = case("unknown", CustomInstance)
+        with pytest.raises(UnpackableFaultError, match="CustomInstance"):
+            PackedSimulation([unknown], 3)
 
 
 # -- per-model packed semantics ------------------------------------------------
@@ -149,6 +157,7 @@ MODEL_TESTS = {
     "IRF": MARCH_C_MINUS,
     "WDF": parse_march("{up(w0); up(w0,r0,w1); down(w1,r1)}"),
     "DRF": parse_march("{up(w0); Del; up(r0,w1); Del; down(r1)}"),
+    "SOF": MARCH_C_MINUS,
     "ADF": MARCH_C_MINUS,
     "CFIN": MARCH_C_MINUS,
     "CFID": MARCH_C_MINUS,
@@ -168,6 +177,43 @@ def test_packed_verdicts_match_serial_per_model(model_name):
         assert packed_detects(test, cases, size) == serial_verdicts(
             test, cases, size
         ), (model_name, size)
+
+
+class TestStuckOpenLatch:
+    """The per-lane sense-amp latch word must mirror the scalar SOF."""
+
+    def test_sof_packed_verdicts_match_serial_across_tests(self):
+        tests = [
+            MATS,
+            MATS_PLUS_PLUS,
+            MARCH_C_MINUS,
+            # A read of another cell between writing and reading the
+            # open cell reloads the latch: the observed value depends
+            # on address order, the classic SOF trap.
+            parse_march("{up(w0); up(r0); up(w1); down(r1)}"),
+            parse_march("{up(w0); down(r0,w1,r1)}"),
+        ]
+        for size in (3, 4, 5):
+            cases = FaultList.from_names("SOF").instances(size)
+            for test in tests:
+                assert packed_detects(test, cases, size) == serial_verdicts(
+                    test, cases, size
+                ), (str(test), size)
+
+    def test_latch_reload_requires_definite_values(self):
+        # Reads of non-initialized ('-') cells must not reload the
+        # latch; only the power-up content can be observed.
+        test = parse_march("{up(r); up(r0)}")
+        cases = FaultList.from_names("SOF").instances(3)
+        assert packed_detects(test, cases, 3) == serial_verdicts(
+            test, cases, 3
+        )
+
+    def test_sof_mixes_with_other_packed_models_in_one_word(self):
+        cases = FaultList.from_names("SAF", "SOF", "CFID").instances(3)
+        assert packed_detects(MARCH_C_MINUS, cases, 3) == serial_verdicts(
+            MARCH_C_MINUS, cases, 3
+        )
 
 
 def test_packed_partial_detection_is_per_case():

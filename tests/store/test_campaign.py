@@ -1,0 +1,174 @@
+"""The declarative campaign runner and its manifest contract."""
+
+import json
+
+import pytest
+
+from repro.store.campaign import (
+    MANIFEST_SCHEMA,
+    CampaignSpec,
+    CampaignSpecError,
+    run_campaign,
+    summarize,
+    write_manifest,
+)
+
+SPEC = {
+    "name": "unit",
+    "tests": ["MATS", "MarchC-"],
+    "faults": ["SAF", "TF"],
+    "sizes": [3],
+    "backends": ["bitparallel"],
+}
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "dict.sqlite"
+
+
+class TestSpec:
+    def test_from_dict_normalizes_and_validates(self):
+        spec = CampaignSpec.from_dict(dict(SPEC, faults=["saf", "tf"]))
+        assert spec.faults == ("SAF", "TF")
+        assert spec.sizes == (3,)
+        assert spec.backends == ("bitparallel",)
+
+    def test_defaults(self):
+        spec = CampaignSpec.from_dict(
+            {"name": "d", "tests": ["MATS"], "faults": ["SAF"]}
+        )
+        assert spec.sizes == (3,)
+        assert spec.backends == ("bitparallel",)
+        assert spec.store is None
+
+    def test_unknown_keys_are_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown campaign"):
+            CampaignSpec.from_dict(dict(SPEC, typo=1))
+
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown fault model"):
+            CampaignSpec.from_dict(dict(SPEC, faults=["NOPE"]))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown backend"):
+            CampaignSpec.from_dict(dict(SPEC, backends=["gpu"]))
+
+    def test_bad_sizes_rejected(self):
+        for sizes in ([], [0], [True], ["3"]):
+            with pytest.raises(CampaignSpecError, match="sizes"):
+                CampaignSpec.from_dict(dict(SPEC, sizes=sizes))
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(CampaignSpecError, match="requires"):
+            CampaignSpec.from_dict({"name": "x", "tests": ["MATS"]})
+
+    def test_from_file_and_json_errors(self, tmp_path):
+        good = tmp_path / "spec.json"
+        good.write_text(json.dumps(SPEC))
+        assert CampaignSpec.from_file(good).name == "unit"
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CampaignSpecError, match="not valid JSON"):
+            CampaignSpec.from_file(bad)
+
+    def test_missing_spec_file_raises_spec_error(self, tmp_path):
+        with pytest.raises(CampaignSpecError, match="cannot read"):
+            CampaignSpec.from_file(tmp_path / "absent.json")
+
+    def test_non_string_fault_names_rejected(self):
+        with pytest.raises(CampaignSpecError, match="must be strings"):
+            CampaignSpec.from_dict(dict(SPEC, faults=[3]))
+
+    def test_tests_accept_literal_notation(self):
+        spec = CampaignSpec.from_dict(
+            dict(SPEC, tests=["MATS", "{up(w0); up(r0)}"])
+        )
+        resolved = spec.resolved_tests()
+        assert resolved[0].name == "MATS"
+        assert resolved[1].name == "{up(w0); up(r0)}"
+        assert len(resolved[1].elements) == 2
+
+    def test_jobs_iterate_sizes_fastest(self):
+        spec = CampaignSpec.from_dict(
+            dict(SPEC, sizes=[3, 4], backends=["bitparallel", "serial"])
+        )
+        assert list(spec.jobs()) == [
+            ("bitparallel", 3), ("bitparallel", 4),
+            ("serial", 3), ("serial", 4),
+        ]
+
+
+class TestRunCampaign:
+    def test_manifest_shape_and_verdicts(self, store_path):
+        spec = CampaignSpec.from_dict(SPEC)
+        manifest = run_campaign(spec, store_path=str(store_path))
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["campaign"] == "unit"
+        assert manifest["spec"]["faults"] == ["SAF", "TF"]
+        assert manifest["totals"]["jobs"] == 1
+        assert manifest["totals"]["results"] == 2
+        rows = {row["test"]: row for row in manifest["results"]}
+        # MarchC- covers SAF+TF fully; MATS misses TF cases.
+        assert rows["MarchC-"]["coverage"] == 1.0
+        assert rows["MarchC-"]["missed"] == []
+        assert rows["MATS"]["coverage"] < 1.0
+        assert rows["MATS"]["missed"]
+        assert rows["MATS"]["detected"] + len(rows["MATS"]["missed"]) == (
+            rows["MATS"]["fault_cases"]
+        )
+
+    def test_second_campaign_is_pure_store_lookup(self, store_path):
+        spec = CampaignSpec.from_dict(SPEC)
+        first = run_campaign(spec, store_path=str(store_path))
+        second = run_campaign(spec, store_path=str(store_path))
+        assert first["totals"]["verdicts_simulated"] > 0
+        assert second["totals"]["verdicts_simulated"] == 0
+        assert second["totals"]["verdicts_from_store"] > 0
+        assert first["results"] == second["results"]
+
+    def test_backends_deduplicate_through_the_store(self, store_path):
+        spec = CampaignSpec.from_dict(
+            dict(SPEC, backends=["bitparallel", "serial"])
+        )
+        manifest = run_campaign(spec, store_path=str(store_path))
+        packed_job, serial_job = manifest["jobs"]
+        assert packed_job["store"]["writes"] > 0
+        assert serial_job["store"]["hits"] == packed_job["store"]["writes"]
+        assert serial_job["served"] == {}, "second backend must not simulate"
+        # Same verdicts either way.
+        by_backend = {}
+        for row in manifest["results"]:
+            by_backend.setdefault(row["backend"], []).append(
+                {k: v for k, v in row.items() if k != "backend"}
+            )
+        assert by_backend["bitparallel"] == by_backend["serial"]
+
+    def test_campaign_without_store_still_runs(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        manifest = run_campaign(spec)
+        assert manifest["store"] is None
+        assert manifest["totals"]["verdicts_from_store"] == 0
+        assert manifest["jobs"][0].get("store") is None
+
+    def test_spec_store_field_is_used_and_cli_overrides(self, tmp_path):
+        spec_store = tmp_path / "from-spec.sqlite"
+        spec = CampaignSpec.from_dict(dict(SPEC, store=str(spec_store)))
+        manifest = run_campaign(spec)
+        assert manifest["store"] == str(spec_store)
+        assert spec_store.exists()
+        override = tmp_path / "override.sqlite"
+        manifest = run_campaign(spec, store_path=str(override))
+        assert manifest["store"] == str(override)
+        assert override.exists()
+
+    def test_manifest_writes_and_summarizes(self, store_path, tmp_path):
+        spec = CampaignSpec.from_dict(SPEC)
+        manifest = run_campaign(spec, store_path=str(store_path))
+        path = write_manifest(manifest, tmp_path / "manifest.json")
+        reloaded = json.loads(path.read_text())
+        assert reloaded["campaign"] == "unit"
+        assert reloaded["totals"]["results"] == 2
+        text = summarize(manifest)
+        assert "campaign 'unit'" in text
+        assert "MarchC-" in text and "100.0%" in text

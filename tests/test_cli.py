@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -33,6 +35,76 @@ class TestSimulate:
 
     def test_incomplete_coverage_fails(self, capsys):
         assert main(["simulate", "MATS", "TF"]) == 1
+
+
+class TestStoreFlags:
+    def test_simulate_populates_then_reads_the_store(self, capsys, tmp_path):
+        store = tmp_path / "dict.sqlite"
+        args = ["simulate", "MarchC-", "SAF", "TF",
+                "--store", str(store), "--sim-stats"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "writes" in first and store.exists()
+        # Second invocation: a brand-new process would behave the same
+        # way -- cold LRU, warm store, zero backend tasks.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "served no tasks" in second
+        assert ", 0 writes" in second  # anchored: "10 writes" must fail
+
+    def test_store_readonly_missing_file_errors(self, tmp_path):
+        from repro.store import StoreError
+
+        with pytest.raises(StoreError, match="does not exist"):
+            main(["simulate", "MATS", "SAF",
+                  "--store", str(tmp_path / "absent.sqlite"),
+                  "--store-readonly"])
+
+    def test_backend_defaults_to_bitparallel(self, capsys):
+        assert main(["simulate", "MATS", "SAF", "--sim-stats"]) == 0
+        assert "backend [bitparallel]" in capsys.readouterr().out
+
+    def test_serial_backend_still_selectable(self, capsys):
+        assert main(["simulate", "MATS", "SAF", "--backend", "serial",
+                     "--sim-stats"]) == 0
+        assert "backend [serial]" in capsys.readouterr().out
+
+    def test_generate_accepts_store(self, capsys, tmp_path):
+        store = tmp_path / "gen.sqlite"
+        assert main(["generate", "SAF", "--no-polish",
+                     "--store", str(store), "--sim-stats"]) == 0
+        assert store.exists()
+        assert "store [gen.sqlite]" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_campaign_runs_and_writes_manifest(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-smoke",
+            "tests": ["MATS", "MarchC-"],
+            "faults": ["SAF", "TF"],
+            "sizes": [3],
+            "backends": ["bitparallel"],
+        }))
+        manifest_path = tmp_path / "manifest.json"
+        store = tmp_path / "dict.sqlite"
+        assert main(["campaign", str(spec), "--store", str(store),
+                     "--manifest", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 'cli-smoke'" in out
+        assert f"wrote {manifest_path}" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["totals"]["results"] == 2
+        assert store.exists()
+
+    def test_campaign_rejects_bad_spec(self, tmp_path):
+        from repro.store.campaign import CampaignSpecError
+
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"name": "x", "tests": ["MATS"]}))
+        with pytest.raises(CampaignSpecError):
+            main(["campaign", str(spec)])
 
 
 class TestListings:
