@@ -35,6 +35,7 @@ path regresses past a generous wall-clock ceiling.
 
 import json
 import multiprocessing
+import os
 import pathlib
 import platform
 import queue as queue_module
@@ -44,6 +45,8 @@ import time
 
 from repro.faults import FaultList
 from repro.kernel import SimulationKernel
+from repro.store.campaign import CampaignSpec, normalized_manifest, \
+    run_campaign
 from repro.march.catalog import (
     MARCH_A,
     MARCH_B,
@@ -93,6 +96,14 @@ REQUIRED_BITPARALLEL_SPEEDUP = 3.0
 #: measured value is ~0.1 s on a laptop, so 10 s only catches gross
 #: regressions on slow shared runners.
 COLD_WALL_CLOCK_CEILING = 10.0
+
+#: Acceptance floor: ``repro campaign --jobs 4`` vs the sequential run
+#: of the same spec.  Only meaningful with real cores to fan out to,
+#: so the guard skips below FANOUT_MIN_CPUS (CI's ubuntu runners have
+#: 4); the determinism half of the contract is checked regardless.
+REQUIRED_FANOUT_SPEEDUP = 2.0
+FANOUT_JOBS = 4
+FANOUT_MIN_CPUS = 4
 
 #: Machine-readable benchmark record, tracked across PRs.
 BENCH_JSON_PATH = (
@@ -189,6 +200,37 @@ def measure_store_warm_start(store_path):
             )
         runs.append(result)
     return runs
+
+
+# -- campaign fan-out ----------------------------------------------------------
+#
+# The parallelism acceptance workload: the Table 3 sweep fanned out as
+# one (test, backend, size) job per worker.  Serial backend at sizes
+# where per-job work dwarfs pool startup, no store -- every job
+# simulates its own cell, so jobs=1 vs jobs=N compares pure scheduling,
+# not cache luck.
+
+
+def fanout_spec():
+    return CampaignSpec.from_dict({
+        "name": "fanout-bench",
+        "tests": [
+            "MATS", "MATS++", "MarchX", "MarchY",
+            "MarchC-", "MarchA", "MarchB", "MSCAN",
+        ],
+        "faults": ["SAF", "TF", "ADF", "CFIN", "CFID"],
+        "sizes": [7, 8],
+        "backends": ["serial"],
+    })
+
+
+def measure_campaign_fanout(jobs):
+    """(seconds, normalized manifest) of one fan-out run."""
+    started = time.perf_counter()
+    manifest = run_campaign(fanout_spec(), jobs=jobs)
+    seconds = time.perf_counter() - started
+    assert manifest["totals"]["failed"] == 0, manifest["totals"]
+    return seconds, normalized_manifest(manifest)
 
 
 # -- pytest-benchmark entry points --------------------------------------------
@@ -295,6 +337,31 @@ def test_store_warm_start_speedup_guard():
     )
 
 
+def test_campaign_fanout_deterministic_and_fast():
+    """Acceptance criterion of the fan-out subsystem: ``--jobs 4``
+    produces the same normalized manifest as the sequential run, and
+    (given real cores) is >= 2x faster wall-clock."""
+    import pytest
+
+    sequential_seconds, sequential_manifest = measure_campaign_fanout(1)
+    fanned_seconds, fanned_manifest = measure_campaign_fanout(FANOUT_JOBS)
+    assert json.dumps(fanned_manifest, sort_keys=True) == json.dumps(
+        sequential_manifest, sort_keys=True
+    ), "fan-out changed the campaign's content, not just its wall-clock"
+    cpus = os.cpu_count() or 1
+    if cpus < FANOUT_MIN_CPUS:
+        pytest.skip(
+            f"{cpus} CPU(s): no cores to fan out to"
+            " (determinism half of the contract verified above)"
+        )
+    speedup = sequential_seconds / fanned_seconds
+    assert speedup >= REQUIRED_FANOUT_SPEEDUP, (
+        f"campaign --jobs {FANOUT_JOBS} only {speedup:.1f}x faster than"
+        f" sequential ({fanned_seconds * 1e3:.0f} ms vs"
+        f" {sequential_seconds * 1e3:.0f} ms)"
+    )
+
+
 def test_cold_wall_clock_guard():
     """Wall-clock regression guard for the uncached kernel path."""
     seconds, _ = _best_of(2, run_kernel_cold, table3_faults())
@@ -328,6 +395,8 @@ def collect_benchmarks():
         )
     store_first_seconds = store_runs[0][0]
     store_second_seconds = store_runs[1][0]
+    fanout_sequential_seconds, _ = measure_campaign_fanout(1)
+    fanout_parallel_seconds, _ = measure_campaign_fanout(FANOUT_JOBS)
     return {
         "schema": 1,
         "benchmark": "bench_kernel",
@@ -340,6 +409,8 @@ def collect_benchmarks():
                 REQUIRED_BITPARALLEL_SPEEDUP
             ),
             "required_store_warm_speedup": REQUIRED_STORE_WARM_SPEEDUP,
+            "required_campaign_fanout_speedup": REQUIRED_FANOUT_SPEEDUP,
+            "campaign_fanout_min_cpus": FANOUT_MIN_CPUS,
             "cold_wall_clock_ceiling_seconds": COLD_WALL_CLOCK_CEILING,
         },
         "workloads": {
@@ -386,6 +457,20 @@ def collect_benchmarks():
                 },
                 "cross_process_warm_speedup": (
                     store_first_seconds / store_second_seconds
+                ),
+            },
+            "campaign_fanout": {
+                "jobs": len(fanout_spec().jobs()),
+                "workers": FANOUT_JOBS,
+                "cpus": os.cpu_count(),
+                "backend": "serial",
+                "sizes": [7, 8],
+                "seconds": {
+                    "sequential": fanout_sequential_seconds,
+                    "parallel": fanout_parallel_seconds,
+                },
+                "fanout_speedup": (
+                    fanout_sequential_seconds / fanout_parallel_seconds
                 ),
             },
         },
@@ -440,6 +525,21 @@ def main():
         f"  {'second process (store)':26s}"
         f" {store['seconds']['second_cold_process'] * 1e3:9.2f} ms"
         f"   {store['cross_process_warm_speedup']:7.1f}x"
+    )
+    fanout = payload["workloads"]["campaign_fanout"]
+    print(
+        f"campaign fan-out ({fanout['jobs']} jobs, serial backend,"
+        f" sizes {fanout['sizes']}, {fanout['cpus']} CPU(s))"
+    )
+    print(
+        f"  {'sequential (--jobs 1)':26s}"
+        f" {fanout['seconds']['sequential'] * 1e3:9.2f} ms"
+    )
+    fanned_label = f"fanned out (--jobs {fanout['workers']})"
+    print(
+        f"  {fanned_label:26s}"
+        f" {fanout['seconds']['parallel'] * 1e3:9.2f} ms"
+        f"   {fanout['fanout_speedup']:7.1f}x"
     )
     path = write_bench_json(payload)
     print(f"wrote {path}")

@@ -192,15 +192,119 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         write_manifest
 
     spec = CampaignSpec.from_file(args.spec)
+
+    pipe_gone = False
+
+    def live_progress(done: int, total: int, record: dict) -> None:
+        # A consumer cutting the pipe short (| head) must cost the
+        # progress lines, never the campaign or its manifest.
+        nonlocal pipe_gone
+        if pipe_gone:
+            return
+        status = (
+            "ok" if record["error"] is None
+            else f"FAILED: {record['error']}"
+        )
+        timing = (
+            f" {record['seconds'] * 1e3:8.1f} ms"
+            if record["seconds"] is not None else ""
+        )
+        try:
+            print(
+                f"[{done}/{total}] {record['backend']}"
+                f" @ size {record['size']}"
+                f" {record['test']}{timing} {status}",
+                flush=True,
+            )
+        except BrokenPipeError:
+            pipe_gone = True
+
     manifest = run_campaign(
-        spec, store_path=args.store, store_readonly=args.store_readonly
+        spec,
+        store_path=args.store,
+        store_readonly=args.store_readonly,
+        jobs=args.jobs,
+        shard=args.shard,
+        progress=live_progress,
     )
     # Persist the artifact before printing: a consumer cutting the
     # pipe short (| head) must not cost the manifest.
     path = write_manifest(manifest, args.manifest)
-    print(summarize(manifest))
-    print(f"wrote {path}")
-    return 0
+    if not pipe_gone:
+        try:
+            print(summarize(manifest))
+            print(f"wrote {path}")
+        except BrokenPipeError:
+            pass
+    return 1 if manifest["totals"]["failed"] else 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .store import FaultDictionaryStore
+
+    def emit(payload: dict, human: str) -> None:
+        if args.json:
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(human)
+
+    if args.store_command == "stats":
+        with FaultDictionaryStore(args.path, readonly=True) as store:
+            stats = store.row_stats()
+        domains = ", ".join(
+            f"{domain}: {count}"
+            for domain, count in sorted(stats["by_domain"].items())
+        )
+        emit(stats, (
+            f"store [{args.path}] schema {stats['schema_version']}:"
+            f" {stats['rows']} rows ({domains or 'empty'}),"
+            f" {stats['bytes']} bytes"
+        ))
+        return 0
+
+    if args.store_command == "compact":
+        from pathlib import Path
+
+        from .store import StoreError
+
+        # Writable opens create missing files; a compaction target
+        # must already exist or a typo'd path would silently "compact"
+        # a fresh empty store.
+        if not Path(args.path).exists():
+            raise StoreError(f"store {args.path} does not exist")
+        with FaultDictionaryStore(args.path) as store:
+            stats = store.compact(
+                max_rows=args.max_rows,
+                max_age=args.max_age,
+                vacuum=not args.no_vacuum,
+            )
+        emit(stats, (
+            f"store [{args.path}]: {stats['rows_before']} rows ->"
+            f" {stats['rows_after']}"
+            f" (-{stats['removed_by_age']} by age,"
+            f" -{stats['removed_by_cap']} by cap),"
+            f" {stats['bytes_before']} -> {stats['bytes_after']} bytes"
+        ))
+        return 0
+
+    if args.store_command == "merge":
+        totals = {"source_rows": 0, "inserted": 0, "merged": 0}
+        with FaultDictionaryStore(args.dest) as store:
+            for source in args.sources:
+                stats = store.merge_from(source)
+                for field in totals:
+                    totals[field] += stats[field]
+        emit(totals, (
+            f"store [{args.dest}]: merged {len(args.sources)} sources,"
+            f" {totals['source_rows']} rows read,"
+            f" {totals['inserted']} inserted,"
+            f" {totals['merged']} conflict-resolved"
+        ))
+        return 0
+
+    raise AssertionError(args.store_command)
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -328,8 +432,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", metavar="PATH", default="campaign_manifest.json",
         help="where to write the machine-readable results manifest",
     )
+    camp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker-pool width: fan the campaign's jobs out over N"
+             " processes (default 1 = sequential); the manifest stays"
+             " deterministic regardless of N",
+    )
+    camp.add_argument(
+        "--shard", action="store_true",
+        help="give every job a private shard store merged into --store"
+             " at the end, instead of contending on the shared WAL file"
+             " (trades duplicate simulation for zero writer contention)",
+    )
     add_store_options(camp)
     camp.set_defaults(fn=cmd_campaign)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain a persistent fault-dictionary store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="row population, per-domain breakdown, file size"
+    )
+    store_stats.add_argument("path", help="store file (SQLite)")
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="prune stale rows (LRU by last_used) and reclaim disk space",
+    )
+    store_compact.add_argument("path", help="store file (SQLite)")
+    store_compact.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="keep at most N rows, dropping the least recently used",
+    )
+    store_compact.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="drop rows not used within the last SECONDS seconds",
+    )
+    store_compact.add_argument(
+        "--no-vacuum", action="store_true",
+        help="skip the VACUUM that returns freed pages to the filesystem",
+    )
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="fold one or more source stores into a destination store"
+             " (newest last_used wins conflicting verdicts)",
+    )
+    store_merge.add_argument("dest", help="destination store file")
+    store_merge.add_argument(
+        "sources", nargs="+", help="source store files to merge in"
+    )
+    for store_parser in (store_stats, store_compact, store_merge):
+        store_parser.add_argument(
+            "--json", action="store_true",
+            help="print the machine-readable JSON report instead of text",
+        )
+    store.set_defaults(fn=cmd_store)
 
     export = sub.add_parser("export", help="compile a test to a program")
     export.add_argument("test")

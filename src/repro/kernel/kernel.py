@@ -193,10 +193,17 @@ class SimulationKernel:
         """Release backend resources and, when the kernel opened the
         store itself (constructed from a path), its connection.
         Caller-provided store instances stay open: they may be shared
-        with other kernels and are the caller's to close."""
-        self.backend.close()
-        if self.store is not None and self._owns_store:
-            self.store.close()
+        with other kernels and are the caller's to close.
+
+        The store close (WAL checkpoint) runs even when the backend
+        refuses to shut down cleanly: campaign workers call this from
+        crash-path ``finally`` blocks, and completed verdicts must be
+        durable no matter what state the backend died in."""
+        try:
+            self.backend.close()
+        finally:
+            if self.store is not None and self._owns_store:
+                self.store.close()
 
     # -- single-detection API ---------------------------------------------------
 

@@ -24,6 +24,31 @@ are fault-model names; ``sizes``/``backends`` default to ``[3]`` /
 ``["bitparallel"]``.  An optional ``"store"`` field names the
 dictionary file (the CLI ``--store`` flag overrides it).
 
+Execution model
+---------------
+The unit of work is one **job** = ``(test, backend, size)``; the job
+list is the deterministic cross product (backends outermost, then
+sizes, then tests, all in spec order).  ``run_campaign(spec, jobs=N)``
+fans the jobs out over ``N`` worker processes:
+
+* every job runs on a **fresh** kernel -- cold LRU, its own store
+  connection -- so all cross-job deduplication flows through the
+  persistent store, exactly like separate CLI invocations would;
+* the manifest lists jobs and results in job order no matter which
+  worker finished first (deterministic fan-out: a ``--jobs 4`` run is
+  byte-identical to ``--jobs 1`` modulo timings and cache counters --
+  ``normalized_manifest`` strips exactly those);
+* one crashed job is *recorded* (its manifest entry carries an
+  ``"error"`` string, ``totals["failed"]`` counts it) and the sweep
+  continues -- a 1000-job sweep never dies at job 999;
+* with ``shard=True`` each **job** writes its own shard store
+  (``<store>.shard-<job index>``) instead of contending on the shared
+  WAL file; the shards are merged into the main store atomically at
+  the end (:meth:`~repro.store.store.FaultDictionaryStore.merge_from`)
+  and deleted.  Shared-WAL mode (the default) deduplicates *during*
+  the run; shard mode trades duplicate simulation (and one small
+  SQLite file per job) for zero writer contention.
+
 This module depends on :mod:`repro.kernel`, which imports the store
 package at startup -- import it as ``repro.store.campaign`` directly,
 never from ``repro.store``'s namespace.
@@ -31,23 +56,39 @@ never from ``repro.store``'s namespace.
 
 from __future__ import annotations
 
+import copy
 import json
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
-from itertools import product
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..faults.faultlist import FaultList
 from ..faults.library import MODEL_REGISTRY
 from ..kernel import BACKENDS, SimulationKernel
 from ..march.catalog import by_name
 from ..march.test import MarchTest, parse_march
+from .store import FaultDictionaryStore
 
-#: Generation of the manifest payload layout.
-MANIFEST_SCHEMA = 1
+#: Generation of the manifest payload layout.  v2: one job per
+#: (test, backend, size), per-job ``test``/``error`` fields, the
+#: ``parallel`` execution block and ``totals["failed"]``.
+MANIFEST_SCHEMA = 2
 
 DEFAULT_MANIFEST_NAME = "campaign_manifest.json"
+
+#: A progress sink: called with (completed so far, total, job record)
+#: as each job finishes, in completion -- not job -- order.
+ProgressSink = Callable[[int, int, Dict[str, Any]], None]
 
 
 class CampaignSpecError(ValueError):
@@ -141,94 +182,266 @@ class CampaignSpec:
 
     def resolved_tests(self) -> List[MarchTest]:
         """Catalog names or literal March notation, in spec order."""
-        resolved = []
-        for text in self.tests:
-            try:
-                resolved.append(by_name(text))
-            except KeyError:
-                resolved.append(parse_march(text, name=text))
-        return resolved
+        return [_resolve_test(text) for text in self.tests]
 
     def fault_list(self) -> FaultList:
         return FaultList.from_names(*self.faults)
 
-    def jobs(self) -> Iterator[Tuple[str, int]]:
-        """(backend, size) pairs, backends outermost.
+    def jobs(self) -> List[Tuple[str, int, str]]:
+        """(backend, size, test) triples, the deterministic job order.
 
-        Sizes vary fastest so one backend finishes populating the
-        store for every size before the next backend starts -- which
-        makes the later backends' jobs pure dictionary lookups.
+        Backends vary slowest, then sizes, then tests: one backend
+        finishes populating the store for every (size, test) before the
+        next backend starts, which makes the later backends' jobs pure
+        dictionary lookups in a sequential shared-store run.
         """
-        return product(self.backends, self.sizes)
+        return [
+            (backend, size, test)
+            for backend in self.backends
+            for size in self.sizes
+            for test in self.tests
+        ]
+
+
+def _resolve_test(text: str) -> MarchTest:
+    try:
+        return by_name(text)
+    except KeyError:
+        return parse_march(text, name=text)
+
+
+# -- the job runner -------------------------------------------------------------
+#
+# One job = one (test, backend, size) cell of the sweep, executed on a
+# fresh kernel in whatever process the scheduler put it.  Everything a
+# worker needs crosses the process boundary as this picklable request;
+# test resolution happens *inside* the job so a malformed test name (or
+# any other per-job explosion) fails that job alone.
+
+
+@dataclass(frozen=True)
+class _JobRequest:
+    index: int
+    test_text: str
+    backend: str
+    size: int
+    faults: Tuple[str, ...]
+    store_path: Optional[str]
+    store_readonly: bool
+
+
+def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
+    started = time.perf_counter()
+    kernel = SimulationKernel(
+        backend=request.backend,
+        store=request.store_path,
+        store_readonly=request.store_readonly,
+    )
+    # try/finally around *everything* after kernel construction: a job
+    # that blows up mid-simulation must still checkpoint and close its
+    # store connection, or a crashing sweep would leak WAL files and
+    # drop verdicts its backend already computed.
+    try:
+        test = _resolve_test(request.test_text)
+        cases = FaultList.from_names(*request.faults).instances(request.size)
+        report = kernel.simulate(test, cases, request.size)
+        seconds = time.perf_counter() - started
+        record: Dict[str, Any] = {
+            "test": test.name or str(test),
+            "notation": str(test),
+            "backend": request.backend,
+            "size": request.size,
+            "fault_cases": len(cases),
+            "seconds": seconds,
+            "error": None,
+            "cache": {
+                "hits": kernel.stats.hits,
+                "misses": kernel.stats.misses,
+            },
+            "served": dict(getattr(kernel.backend, "served", None) or {}),
+        }
+        if kernel.store is not None:
+            record["store"] = {
+                "hits": kernel.store.stats.hits,
+                "misses": kernel.store.stats.misses,
+                "writes": kernel.store.stats.writes,
+                "skipped_writes": kernel.store.stats.skipped_writes,
+            }
+        record["result"] = {
+            "test": test.name or str(test),
+            "notation": str(test),
+            "size": request.size,
+            "backend": request.backend,
+            "fault_cases": len(cases),
+            "detected": len(report.detected),
+            "missed": list(report.missed),
+            "coverage": report.coverage,
+        }
+        return record
+    finally:
+        kernel.close()
+
+
+def _execute_job(request: _JobRequest) -> Dict[str, Any]:
+    """Top-level worker entry point: never raises for job-level errors.
+
+    A failing job returns an error record instead of propagating, so
+    one bad cell of the sweep cannot take down its worker (or, in
+    sequential mode, the whole campaign).  Only catastrophic worker
+    death (OOM kill, segfault) surfaces to the parent as a broken
+    future, which the scheduler also records as a per-job failure.
+    """
+    try:
+        return _simulate_job(request)
+    except Exception as error:  # noqa: BLE001 - isolation boundary
+        return _error_record(request, error)
+
+
+def _error_record(request: _JobRequest, error: BaseException) -> Dict[str, Any]:
+    return {
+        "test": request.test_text,
+        "notation": None,
+        "backend": request.backend,
+        "size": request.size,
+        "fault_cases": None,
+        "seconds": None,
+        "error": f"{type(error).__name__}: {error}",
+        "cache": None,
+        "served": {},
+        "result": None,
+    }
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the loaded fault library); fall
+    back to the platform default where fork does not exist."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
 
 
 def run_campaign(
     spec: CampaignSpec,
     store_path: Optional[str] = None,
     store_readonly: bool = False,
+    jobs: int = 1,
+    shard: bool = False,
+    progress: Optional[ProgressSink] = None,
 ) -> Dict[str, Any]:
     """Execute every job of ``spec``; return the results manifest.
 
-    Each (backend, size) job runs on a **fresh** kernel -- cold LRU,
-    its own store connection -- so all cross-job deduplication flows
-    through the persistent store, exactly like separate CLI
-    invocations would.  Verdict identity across backends is the
-    kernel's equivalence contract, so sharing rows between them is
-    sound.
+    ``jobs`` is the worker-pool width: 1 (default) runs the jobs
+    sequentially in-process, ``N > 1`` fans them out over ``N``
+    processes.  Either way the manifest is ordered by the deterministic
+    job order of :meth:`CampaignSpec.jobs` and each job's verdicts are
+    the kernel's usual byte-identical results, so the fan-out changes
+    wall-clock, never content.
+
+    ``shard=True`` (needs a writable store and is pointless without
+    one) gives every job a private shard store and merges the shards
+    into the main dictionary atomically after the sweep; the default
+    writes through the shared WAL store, deduplicating live.
+
+    ``progress`` is called as each job completes (in completion order)
+    with ``(done, total, job_record)``.
     """
-    tests = spec.resolved_tests()
-    faults = spec.fault_list()
+    if jobs < 1:
+        raise CampaignSpecError("jobs must be >= 1")
     store = store_path if store_path is not None else spec.store
+    if shard:
+        if store is None:
+            raise CampaignSpecError("shard mode needs --store")
+        if store_readonly:
+            raise CampaignSpecError(
+                "shard mode writes shards; it cannot run --store-readonly"
+            )
 
-    jobs: List[Dict[str, Any]] = []
-    results: List[Dict[str, Any]] = []
-    started_campaign = time.perf_counter()
-    for backend, size in spec.jobs():
-        kernel = SimulationKernel(
-            backend=backend, store=store, store_readonly=store_readonly
+    def shard_path(index: int) -> str:
+        return f"{store}.shard-{index}"
+
+    requests = [
+        _JobRequest(
+            index=index,
+            test_text=test,
+            backend=backend,
+            size=size,
+            faults=spec.faults,
+            store_path=shard_path(index) if shard else store,
+            store_readonly=store_readonly,
         )
-        try:
-            cases = faults.instances(size)
-            started = time.perf_counter()
-            reports = kernel.simulate_many(tests, cases, size)
-            seconds = time.perf_counter() - started
-            for test, report in zip(tests, reports):
-                results.append({
-                    "test": test.name or str(test),
-                    "notation": str(test),
-                    "size": size,
-                    "backend": backend,
-                    "fault_cases": len(cases),
-                    "detected": len(report.detected),
-                    "missed": list(report.missed),
-                    "coverage": report.coverage,
-                })
-            job: Dict[str, Any] = {
-                "backend": backend,
-                "size": size,
-                "fault_cases": len(cases),
-                "seconds": seconds,
-                "cache": {
-                    "hits": kernel.stats.hits,
-                    "misses": kernel.stats.misses,
-                },
-                "served": dict(
-                    getattr(kernel.backend, "served", None) or {}
-                ),
-            }
-            if kernel.store is not None:
-                job["store"] = {
-                    "hits": kernel.store.stats.hits,
-                    "misses": kernel.store.stats.misses,
-                    "writes": kernel.store.stats.writes,
-                    "skipped_writes": kernel.store.stats.skipped_writes,
-                }
-            jobs.append(job)
-        finally:
-            kernel.close()
+        for index, (backend, size, test) in enumerate(spec.jobs())
+    ]
 
-    simulated = sum(sum(job["served"].values()) for job in jobs)
-    store_hits = sum(job.get("store", {}).get("hits", 0) for job in jobs)
+    started_campaign = time.perf_counter()
+    if store is not None and not store_readonly:
+        # Pre-create the (shared store / shard-merge target) schema in
+        # the parent: workers then only ever open an existing store,
+        # and a store problem fails the campaign up front instead of
+        # failing every job.
+        FaultDictionaryStore(store).close()
+    records: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+    done = 0
+
+    def record_completion(index: int, record: Dict[str, Any]) -> None:
+        nonlocal done
+        records[index] = record
+        done += 1
+        if progress is not None:
+            progress(done, len(requests), record)
+
+    if jobs == 1 or len(requests) <= 1:
+        for request in requests:
+            record_completion(request.index, _execute_job(request))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(requests)),
+            mp_context=_pool_context(),
+        ) as pool:
+            futures = {
+                pool.submit(_execute_job, request): request
+                for request in requests
+            }
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(
+                    pending, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    request = futures[future]
+                    try:
+                        record = future.result()
+                    except BaseException as error:  # broken pool / hard crash
+                        record = _error_record(request, error)
+                    record_completion(request.index, record)
+
+    merge_stats: Optional[Dict[str, int]] = None
+    if shard:
+        merge_stats = _merge_shards(
+            store, [shard_path(request.index) for request in requests]
+        )
+
+    ordered = [record for record in records if record is not None]
+    results = [
+        record["result"] for record in ordered
+        if record.get("result") is not None
+    ]
+    job_rows = []
+    for record in ordered:
+        job_rows.append({k: v for k, v in record.items() if k != "result"})
+    simulated = sum(
+        sum(record["served"].values()) for record in ordered
+    )
+    store_hits = sum(
+        (record.get("store") or {}).get("hits", 0) for record in ordered
+    )
+    failed = sum(1 for record in ordered if record["error"] is not None)
+    mode = (
+        "sequential" if jobs == 1
+        else ("sharded" if shard else "shared")
+    )
     return {
         "schema": MANIFEST_SCHEMA,
         "campaign": spec.name,
@@ -240,16 +453,59 @@ def run_campaign(
         },
         "store": str(store) if store is not None else None,
         "store_readonly": store_readonly,
-        "jobs": jobs,
+        "parallel": {
+            "jobs": jobs,
+            "mode": mode,
+            "shard_merge": merge_stats,
+        },
+        "jobs": job_rows,
         "results": results,
         "totals": {
-            "jobs": len(jobs),
+            "jobs": len(job_rows),
             "results": len(results),
+            "failed": failed,
             "verdicts_simulated": simulated,
             "verdicts_from_store": store_hits,
             "seconds": time.perf_counter() - started_campaign,
         },
     }
+
+
+def _merge_shards(
+    store: str, shard_paths: List[str]
+) -> Dict[str, int]:
+    """Fold every per-job shard into the main store, then delete them.
+
+    One atomic transaction per shard; a shard a failed job never
+    created is simply skipped.  The shards' WAL/SHM droppings go with
+    them.
+    """
+    totals = {"shards": 0, "source_rows": 0, "inserted": 0, "merged": 0}
+    main = FaultDictionaryStore(store)
+    try:
+        for shard in shard_paths:
+            path = Path(shard)
+            if not path.exists():
+                continue
+            stats = main.merge_from(path)
+            totals["shards"] += 1
+            for field in ("source_rows", "inserted", "merged"):
+                totals[field] += stats[field]
+            for dropping in (
+                path,
+                path.with_name(path.name + "-wal"),
+                path.with_name(path.name + "-shm"),
+            ):
+                try:
+                    dropping.unlink()
+                except FileNotFoundError:
+                    pass
+    finally:
+        main.close()
+    return totals
+
+
+# -- manifest tooling -----------------------------------------------------------
 
 
 def write_manifest(
@@ -263,18 +519,59 @@ def write_manifest(
     return path
 
 
+#: Manifest fields that legitimately differ between two runs of the
+#: same spec: wall-clock, timestamps, and cache/store counters (a
+#: parallel run races its jobs, so which job *simulated* a shared
+#: verdict and which found it in the store is scheduling-dependent --
+#: the verdicts themselves are not).
+_RUN_DEPENDENT_TOP = ("generated_unix", "store", "store_readonly", "parallel")
+_RUN_DEPENDENT_JOB = ("seconds", "cache", "served", "store")
+_RUN_DEPENDENT_TOTALS = ("seconds", "verdicts_simulated", "verdicts_from_store")
+
+
+def normalized_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """The manifest minus everything scheduling-dependent.
+
+    Two runs of the same spec -- any ``--jobs`` width, shared or
+    sharded store, warm or cold -- must normalize byte-identically
+    (``json.dumps(..., sort_keys=True)``); CI's ``campaign-fanout`` job
+    enforces exactly that.  What survives is the determinism contract:
+    the job list in job order, every verdict count, every missed-case
+    list, every coverage figure and every error.
+    """
+    normalized = copy.deepcopy(manifest)
+    for field in _RUN_DEPENDENT_TOP:
+        normalized.pop(field, None)
+    for job in normalized.get("jobs", ()):
+        for field in _RUN_DEPENDENT_JOB:
+            job.pop(field, None)
+    totals = normalized.get("totals", {})
+    for field in _RUN_DEPENDENT_TOTALS:
+        totals.pop(field, None)
+    return normalized
+
+
 def summarize(manifest: Dict[str, Any]) -> str:
     """The human-readable campaign summary the CLI prints."""
     lines = []
     totals = manifest["totals"]
+    parallel = manifest.get("parallel", {})
     lines.append(
         f"campaign '{manifest['campaign']}':"
-        f" {totals['jobs']} jobs, {totals['results']} results,"
+        f" {totals['jobs']} jobs ({parallel.get('mode', 'sequential')},"
+        f" {parallel.get('jobs', 1)} workers),"
+        f" {totals['failed']} failed,"
         f" {totals['verdicts_simulated']} verdicts simulated,"
         f" {totals['verdicts_from_store']} from the store,"
         f" {totals['seconds']:.2f}s"
     )
     for job in manifest["jobs"]:
+        if job["error"] is not None:
+            lines.append(
+                f"  job [{job['backend']} @ size {job['size']}]"
+                f" {job['test']:12s} FAILED: {job['error']}"
+            )
+            continue
         store = job.get("store")
         store_text = (
             f"  store {store['hits']}h/{store['writes']}w"
@@ -283,6 +580,7 @@ def summarize(manifest: Dict[str, Any]) -> str:
         )
         lines.append(
             f"  job [{job['backend']} @ size {job['size']}]"
+            f" {job['test']:12s}"
             f" {job['fault_cases']} cases {job['seconds'] * 1e3:8.1f} ms"
             f"{store_text}"
         )

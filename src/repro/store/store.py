@@ -30,6 +30,17 @@ Durability rules
 * ``readonly=True`` opens an existing store for lookups only
   (``PRAGMA query_only``): writes become counted no-ops, corruption is
   reported instead of repaired.
+
+Lifecycle
+---------
+A long-lived dictionary grows without bound, so every row carries a
+``last_used`` timestamp (stamped on write, bumped on read hits -- the
+bump is a usage-tracking side channel, not a verdict write, so it never
+appears in :class:`StoreStats`).  :meth:`FaultDictionaryStore.compact`
+prunes by age and/or LRU row cap, :meth:`FaultDictionaryStore.merge_from`
+folds another store (e.g. a campaign worker's shard) into this one in
+one atomic transaction, and :meth:`FaultDictionaryStore.row_stats`
+reports the row population for ``repro store stats``.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -55,12 +67,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..kernel.cache import SimKey
 
 #: Generation of the on-disk row format.  Bump when the ``verdicts``
-#: schema or the verdict encoding changes incompatibly; old stores are
-#: refused with :class:`StoreSchemaError` rather than misread.
-SCHEMA_VERSION = 1
+#: schema or the verdict encoding changes incompatibly; unknown
+#: generations are refused with :class:`StoreSchemaError` rather than
+#: misread.  v2: ``last_used`` column (unix seconds) for LRU
+#: compaction -- purely additive, so v1 stores upgrade in place on a
+#: writable open.
+SCHEMA_VERSION = 2
 
 #: How long one connection waits on a writer lock before giving up.
 BUSY_TIMEOUT_SECONDS = 30.0
+
+#: Read hits only rewrite ``last_used`` when the stored stamp is at
+#: least this stale.  Compaction ages are hours-to-days, so minute
+#: granularity loses nothing while keeping hot read paths free of
+#: write-lock traffic (a warm fan-out worker re-reading the same rows
+#: bumps each at most once a minute instead of once per lookup).
+LAST_USED_RESOLUTION_SECONDS = 60
 
 
 class StoreError(RuntimeError):
@@ -229,27 +251,47 @@ class FaultDictionaryStore:
         if tables[0] == 0:
             if self.readonly:  # pragma: no cover - exists() raced away
                 raise StoreError(f"readonly store {self.path} is empty")
-            conn.executescript(
-                """
-                CREATE TABLE meta (
-                    key   TEXT PRIMARY KEY,
-                    value TEXT NOT NULL
-                );
-                CREATE TABLE verdicts (
-                    signature TEXT    NOT NULL,
-                    case_name TEXT    NOT NULL,
-                    size      INTEGER NOT NULL,
-                    domain    TEXT    NOT NULL,
-                    verdict   TEXT    NOT NULL,
-                    PRIMARY KEY (signature, case_name, size, domain)
-                ) WITHOUT ROWID;
-                """
-            )
-            conn.execute(
-                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
-                (str(SCHEMA_VERSION),),
-            )
-            return
+            # Concurrent processes may race to create the same fresh
+            # store (a fanned-out campaign's first run): BEGIN
+            # IMMEDIATE serializes the creators on the write lock and
+            # IF NOT EXISTS / OR IGNORE make the losers no-ops.  The
+            # version check below then validates whatever won.
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.execute(
+                    """
+                    CREATE TABLE IF NOT EXISTS meta (
+                        key   TEXT PRIMARY KEY,
+                        value TEXT NOT NULL
+                    )
+                    """
+                )
+                conn.execute(
+                    """
+                    CREATE TABLE IF NOT EXISTS verdicts (
+                        signature TEXT    NOT NULL,
+                        case_name TEXT    NOT NULL,
+                        size      INTEGER NOT NULL,
+                        domain    TEXT    NOT NULL,
+                        verdict   TEXT    NOT NULL,
+                        last_used INTEGER NOT NULL DEFAULT 0,
+                        PRIMARY KEY (signature, case_name, size, domain)
+                    ) WITHOUT ROWID
+                    """
+                )
+                conn.execute(
+                    "CREATE INDEX IF NOT EXISTS verdicts_last_used"
+                    " ON verdicts (last_used)"
+                )
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value)"
+                    " VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
         row = conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         ).fetchone() if self._has_table(conn, "meta") else None
@@ -258,12 +300,57 @@ class FaultDictionaryStore:
                 f"{self.path} is not a fault-dictionary store"
                 " (missing meta/verdicts tables)"
             )
+        if row[0] == "1" and not self.readonly:
+            # v1 -> v2 is purely additive (the last_used column, whose
+            # DEFAULT 0 "never used" rows are first in line for LRU
+            # pruning -- exactly right for rows of unknown recency),
+            # so a v1 dictionary is upgraded in place rather than
+            # refused: a known, versioned upgrade is not the silent
+            # migration the refusal policy forbids.
+            row = (self._upgrade_v1_to_v2(conn),)
         if row[0] != str(SCHEMA_VERSION):
+            advice = (
+                "open it writable once to upgrade in place"
+                if row[0] == "1"
+                else "move the file aside to rebuild"
+            )
             raise StoreSchemaError(
                 f"{self.path} uses store schema {row[0]},"
                 f" this build reads schema {SCHEMA_VERSION};"
-                " refusing to touch it (move the file aside to rebuild)"
+                f" refusing to touch it ({advice})"
             )
+
+    @staticmethod
+    def _upgrade_v1_to_v2(conn: sqlite3.Connection) -> str:
+        """Add the v2 ``last_used`` column to a v1 store, in place.
+
+        Serialized on the write lock like schema creation; a racing
+        upgrader's ALTER is skipped when the column already appeared.
+        Returns the new schema version string.
+        """
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            columns = {
+                column[1]
+                for column in conn.execute("PRAGMA table_info(verdicts)")
+            }
+            if "last_used" not in columns:
+                conn.execute(
+                    "ALTER TABLE verdicts ADD COLUMN"
+                    " last_used INTEGER NOT NULL DEFAULT 0"
+                )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS verdicts_last_used"
+                " ON verdicts (last_used)"
+            )
+            conn.execute(
+                "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
+            )
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        return "2"
 
     @staticmethod
     def _has_table(conn: sqlite3.Connection, name: str) -> bool:
@@ -314,16 +401,65 @@ class FaultDictionaryStore:
     # -- lookups ----------------------------------------------------------------
 
     _SELECT = (
-        "SELECT verdict FROM verdicts"
+        "SELECT verdict, last_used FROM verdicts"
         " WHERE signature=? AND case_name=? AND size=? AND domain=?"
     )
 
+    _TOUCH = (
+        "UPDATE verdicts SET last_used=?"
+        " WHERE signature=? AND case_name=? AND size=? AND domain=?"
+    )
+
+    def _bump(self, now: int, keys: Sequence["SimKey"]) -> None:
+        """Best-effort ``last_used`` refresh for read hits.
+
+        Usage tracking must never fail (or stall) a lookup: when the
+        write lock cannot be had -- another worker mid-``put_many``, a
+        concurrent compaction holding the file -- the bump is simply
+        dropped; the rows keep their previous recency.  Called under
+        ``self._lock``.
+        """
+        rows = [
+            (now, key.signature, key.case, key.size, key.domain)
+            for key in keys
+        ]
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError:
+            return
+        try:
+            self._conn.executemany(self._TOUCH, rows)
+        except sqlite3.OperationalError:  # pragma: no cover - lock races
+            self._conn.execute("ROLLBACK")
+            return
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+
+    def _needs_bump(self, now: int, last_used: int) -> bool:
+        return (
+            not self.readonly
+            and now - last_used >= LAST_USED_RESOLUTION_SECONDS
+        )
+
     def get(self, key: "SimKey", default: Any = None) -> Any:
-        """Look up one verdict, counting the hit or miss."""
+        """Look up one verdict, counting the hit or miss.
+
+        A hit refreshes the row's ``last_used`` timestamp (skipped in
+        readonly mode, rate-limited to
+        :data:`LAST_USED_RESOLUTION_SECONDS`, dropped under lock
+        contention) so :meth:`compact` can prune least-recently-used
+        rows; the bump is usage tracking, not a verdict write, and is
+        deliberately absent from :class:`StoreStats`.
+        """
+        now = int(time.time())
         with self._lock:
             row = self._conn.execute(
                 self._SELECT, (key.signature, key.case, key.size, key.domain)
             ).fetchone()
+            if row is not None and self._needs_bump(now, row[1]):
+                self._bump(now, [key])
         if row is None:
             self.stats.misses += 1
             return default
@@ -331,8 +467,14 @@ class FaultDictionaryStore:
         return decode_verdict(row[0])
 
     def get_many(self, keys: Iterable["SimKey"]) -> Dict["SimKey", Any]:
-        """Point-look up many keys; absent keys are simply not returned."""
+        """Point-look up many keys; absent keys are simply not returned.
+
+        Stale hits get their ``last_used`` refreshed in one batched,
+        best-effort transaction (see :meth:`get` for the bump rules).
+        """
         found: Dict["SimKey", Any] = {}
+        stale: list = []
+        now = int(time.time())
         with self._lock:
             cursor = self._conn.cursor()
             for key in keys:
@@ -345,6 +487,10 @@ class FaultDictionaryStore:
                 else:
                     self.stats.hits += 1
                     found[key] = decode_verdict(row[0])
+                    if self._needs_bump(now, row[1]):
+                        stale.append(key)
+            if stale:
+                self._bump(now, stale)
         return found
 
     def __len__(self) -> int:
@@ -362,10 +508,12 @@ class FaultDictionaryStore:
     # -- writes -----------------------------------------------------------------
 
     _UPSERT = (
-        "INSERT INTO verdicts (signature, case_name, size, domain, verdict)"
-        " VALUES (?, ?, ?, ?, ?)"
+        "INSERT INTO verdicts"
+        " (signature, case_name, size, domain, verdict, last_used)"
+        " VALUES (?, ?, ?, ?, ?, ?)"
         " ON CONFLICT (signature, case_name, size, domain)"
-        " DO UPDATE SET verdict = excluded.verdict"
+        " DO UPDATE SET verdict = excluded.verdict,"
+        "               last_used = excluded.last_used"
     )
 
     def put(self, key: "SimKey", value: Any) -> None:
@@ -375,7 +523,7 @@ class FaultDictionaryStore:
             return
         row = (
             key.signature, key.case, key.size, key.domain,
-            encode_verdict(value),
+            encode_verdict(value), int(time.time()),
         )
         with self._lock:
             self._conn.execute(self._UPSERT, row)
@@ -388,9 +536,10 @@ class FaultDictionaryStore:
         if self.readonly:
             self.stats.skipped_writes += len(pairs)
             return
+        now = int(time.time())
         rows = [
             (key.signature, key.case, key.size, key.domain,
-             encode_verdict(value))
+             encode_verdict(value), now)
             for key, value in pairs
         ]
         with self._lock:
@@ -402,6 +551,182 @@ class FaultDictionaryStore:
                 raise
             self._conn.execute("COMMIT")
         self.stats.writes += len(rows)
+
+    # -- lifecycle maintenance --------------------------------------------------
+
+    def compact(
+        self,
+        max_rows: Optional[int] = None,
+        max_age: Optional[float] = None,
+        now: Optional[float] = None,
+        vacuum: bool = True,
+    ) -> Dict[str, Any]:
+        """Prune the dictionary: drop stale rows, cap the population.
+
+        ``max_age`` (seconds) removes every row whose ``last_used`` is
+        older than ``now - max_age``; ``max_rows`` then removes
+        least-recently-used rows (ties broken by primary key, so
+        compaction is deterministic) until at most ``max_rows`` remain.
+        Both prunes run in one transaction; ``vacuum`` reclaims the
+        freed pages afterwards.  Returns a stats dict suitable for
+        machine-readable reporting (``repro store compact --json``).
+        """
+        if self.readonly:
+            raise StoreError(f"cannot compact readonly store {self.path}")
+        if max_rows is not None and max_rows < 0:
+            raise StoreError("max_rows must be >= 0")
+        if max_age is not None and max_age < 0:
+            raise StoreError("max_age must be >= 0 seconds")
+        now = time.time() if now is None else now
+        with self._lock:
+            # Fold the WAL in first so the before/after byte counts
+            # describe the whole dictionary, not just the main file.
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            bytes_before = self.path.stat().st_size
+            rows_before = self._conn.execute(
+                "SELECT count(*) FROM verdicts"
+            ).fetchone()[0]
+            removed_by_age = removed_by_cap = 0
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                if max_age is not None:
+                    removed_by_age = self._conn.execute(
+                        "DELETE FROM verdicts WHERE last_used < ?",
+                        (int(now - max_age),),
+                    ).rowcount
+                if max_rows is not None:
+                    remaining = rows_before - removed_by_age
+                    excess = remaining - max_rows
+                    if excess > 0:
+                        removed_by_cap = self._conn.execute(
+                            "DELETE FROM verdicts WHERE"
+                            " (signature, case_name, size, domain) IN ("
+                            "   SELECT signature, case_name, size, domain"
+                            "   FROM verdicts"
+                            "   ORDER BY last_used ASC, signature ASC,"
+                            "            case_name ASC, size ASC, domain ASC"
+                            "   LIMIT ?)",
+                            (excess,),
+                        ).rowcount
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.execute("COMMIT")
+            if vacuum:
+                self._conn.execute("VACUUM")
+            # In WAL mode VACUUM rewrites through the WAL; the main
+            # file only shrinks once that WAL is checkpointed back.
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return {
+            "path": str(self.path),
+            "rows_before": rows_before,
+            "removed_by_age": removed_by_age,
+            "removed_by_cap": removed_by_cap,
+            "rows_after": rows_before - removed_by_age - removed_by_cap,
+            "bytes_before": bytes_before,
+            "bytes_after": self.path.stat().st_size,
+        }
+
+    def merge_from(
+        self, source: "Union[str, Path, FaultDictionaryStore]"
+    ) -> Dict[str, int]:
+        """Fold another store's rows into this one, atomically.
+
+        This is the sharded campaign fan-out's join step: each worker
+        writes its own shard store, then the parent merges every shard
+        into the main dictionary in one transaction per shard.
+
+        Conflict resolution: when both stores hold a row for the same
+        ``SimKey``, the row with the **newer** ``last_used`` wins the
+        verdict (the incoming row wins ties -- freshly simulated shard
+        rows supersede what the main store remembered), and the merged
+        ``last_used`` is the maximum of the two.  Returns
+        ``{"source_rows", "inserted", "merged"}``.
+        """
+        if self.readonly:
+            raise StoreError(
+                f"cannot merge into readonly store {self.path}"
+            )
+        source_path = Path(
+            source.path
+            if isinstance(source, FaultDictionaryStore)
+            else source
+        )
+        if source_path.resolve() == self.path.resolve():
+            raise StoreError(f"cannot merge {self.path} into itself")
+        # Validate the source generation through the normal open path
+        # (schema refusal, corruption report) before touching our rows.
+        if not isinstance(source, FaultDictionaryStore):
+            with FaultDictionaryStore(source_path, readonly=True):
+                pass
+        with self._lock:
+            rows_before = self._conn.execute(
+                "SELECT count(*) FROM verdicts"
+            ).fetchone()[0]
+            self._conn.execute("ATTACH DATABASE ? AS merge_src",
+                               (str(source_path),))
+            try:
+                source_rows = self._conn.execute(
+                    "SELECT count(*) FROM merge_src.verdicts"
+                ).fetchone()[0]
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    self._conn.execute(
+                        "INSERT INTO verdicts"
+                        " (signature, case_name, size, domain,"
+                        "  verdict, last_used)"
+                        " SELECT signature, case_name, size, domain,"
+                        "        verdict, last_used"
+                        " FROM merge_src.verdicts WHERE true"
+                        " ON CONFLICT (signature, case_name, size, domain)"
+                        " DO UPDATE SET"
+                        "   verdict = CASE"
+                        "     WHEN excluded.last_used >= verdicts.last_used"
+                        "     THEN excluded.verdict ELSE verdicts.verdict"
+                        "   END,"
+                        "   last_used = max(verdicts.last_used,"
+                        "                   excluded.last_used)"
+                    )
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+                self._conn.execute("COMMIT")
+                rows_after = self._conn.execute(
+                    "SELECT count(*) FROM verdicts"
+                ).fetchone()[0]
+            finally:
+                self._conn.execute("DETACH DATABASE merge_src")
+        inserted = rows_after - rows_before
+        return {
+            "source_rows": source_rows,
+            "inserted": inserted,
+            "merged": source_rows - inserted,
+        }
+
+    def row_stats(self) -> Dict[str, Any]:
+        """The row population report behind ``repro store stats``."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT count(*) FROM verdicts"
+            ).fetchone()[0]
+            by_domain = dict(
+                self._conn.execute(
+                    "SELECT domain, count(*) FROM verdicts"
+                    " GROUP BY domain ORDER BY domain"
+                ).fetchall()
+            )
+            used = self._conn.execute(
+                "SELECT min(last_used), max(last_used) FROM verdicts"
+            ).fetchone()
+        return {
+            "path": str(self.path),
+            "schema_version": SCHEMA_VERSION,
+            "rows": rows,
+            "by_domain": by_domain,
+            "bytes": self.path.stat().st_size,
+            "last_used_min": used[0],
+            "last_used_max": used[1],
+        }
 
     # -- description ------------------------------------------------------------
 

@@ -125,5 +125,18 @@ class TieredCache:
         """Drop the in-memory tier; persistent rows survive."""
         self.memory.clear()
 
+    def compact(self, **kwargs: Any) -> Dict[str, Any]:
+        """Prune the persistent tier (see
+        :meth:`FaultDictionaryStore.compact`).  The in-memory tier is
+        untouched: promoted entries stay hot even when their disk rows
+        are pruned, and write-through restores them on the next miss.
+
+        Note that promotion narrows what ``last_used`` means for a
+        long-lived kernel: once a row is promoted into the LRU, later
+        hits are answered in-process, so the store timestamp records
+        the last time a *process* needed the row from disk -- exactly
+        the recency that matters for cross-process compaction."""
+        return self.store.compact(**kwargs)
+
     def close(self) -> None:
         self.store.close()

@@ -8,10 +8,15 @@ from repro.store.campaign import (
     MANIFEST_SCHEMA,
     CampaignSpec,
     CampaignSpecError,
+    normalized_manifest,
     run_campaign,
     summarize,
     write_manifest,
 )
+
+
+def normalized_dump(manifest):
+    return json.dumps(normalized_manifest(manifest), sort_keys=True)
 
 SPEC = {
     "name": "unit",
@@ -89,13 +94,15 @@ class TestSpec:
         assert resolved[1].name == "{up(w0); up(r0)}"
         assert len(resolved[1].elements) == 2
 
-    def test_jobs_iterate_sizes_fastest(self):
+    def test_jobs_iterate_backends_slowest_tests_fastest(self):
         spec = CampaignSpec.from_dict(
             dict(SPEC, sizes=[3, 4], backends=["bitparallel", "serial"])
         )
-        assert list(spec.jobs()) == [
-            ("bitparallel", 3), ("bitparallel", 4),
-            ("serial", 3), ("serial", 4),
+        assert spec.jobs() == [
+            ("bitparallel", 3, "MATS"), ("bitparallel", 3, "MarchC-"),
+            ("bitparallel", 4, "MATS"), ("bitparallel", 4, "MarchC-"),
+            ("serial", 3, "MATS"), ("serial", 3, "MarchC-"),
+            ("serial", 4, "MATS"), ("serial", 4, "MarchC-"),
         ]
 
 
@@ -106,8 +113,14 @@ class TestRunCampaign:
         assert manifest["schema"] == MANIFEST_SCHEMA
         assert manifest["campaign"] == "unit"
         assert manifest["spec"]["faults"] == ["SAF", "TF"]
-        assert manifest["totals"]["jobs"] == 1
+        # One job per (test, backend, size) cell of the sweep.
+        assert manifest["totals"]["jobs"] == 2
         assert manifest["totals"]["results"] == 2
+        assert manifest["totals"]["failed"] == 0
+        assert manifest["parallel"]["mode"] == "sequential"
+        assert [job["test"] for job in manifest["jobs"]] == [
+            "MATS", "MarchC-"
+        ]
         rows = {row["test"]: row for row in manifest["results"]}
         # MarchC- covers SAF+TF fully; MATS misses TF cases.
         assert rows["MarchC-"]["coverage"] == 1.0
@@ -132,10 +145,14 @@ class TestRunCampaign:
             dict(SPEC, backends=["bitparallel", "serial"])
         )
         manifest = run_campaign(spec, store_path=str(store_path))
-        packed_job, serial_job = manifest["jobs"]
-        assert packed_job["store"]["writes"] > 0
-        assert serial_job["store"]["hits"] == packed_job["store"]["writes"]
-        assert serial_job["served"] == {}, "second backend must not simulate"
+        packed_jobs = manifest["jobs"][:2]
+        serial_jobs = manifest["jobs"][2:]
+        assert sum(j["store"]["writes"] for j in packed_jobs) > 0
+        assert sum(j["store"]["hits"] for j in serial_jobs) == sum(
+            j["store"]["writes"] for j in packed_jobs
+        )
+        for job in serial_jobs:
+            assert job["served"] == {}, "second backend must not simulate"
         # Same verdicts either way.
         by_backend = {}
         for row in manifest["results"]:
@@ -172,3 +189,121 @@ class TestRunCampaign:
         text = summarize(manifest)
         assert "campaign 'unit'" in text
         assert "MarchC-" in text and "100.0%" in text
+
+
+class TestFanOut:
+    """The parallel executor: determinism, isolation, sharding."""
+
+    SWEEP = dict(SPEC, backends=["bitparallel", "serial"])  # 4 jobs
+
+    def test_parallel_manifest_identical_to_sequential(self, store_path):
+        spec = CampaignSpec.from_dict(self.SWEEP)
+        sequential = run_campaign(spec, store_path=str(store_path), jobs=1)
+        fanned = run_campaign(spec, store_path=str(store_path), jobs=4)
+        assert fanned["parallel"] == {
+            "jobs": 4, "mode": "shared", "shard_merge": None,
+        }
+        assert normalized_dump(fanned) == normalized_dump(sequential)
+        # The normalized form still carries the determinism contract.
+        normalized = normalized_manifest(fanned)
+        assert [job["test"] for job in normalized["jobs"]] == [
+            "MATS", "MarchC-", "MATS", "MarchC-"
+        ]
+        assert normalized["results"] == fanned["results"]
+        assert "seconds" not in normalized["totals"]
+        assert "parallel" not in normalized
+
+    def test_parallel_without_store_identical_too(self):
+        spec = CampaignSpec.from_dict(self.SWEEP)
+        sequential = run_campaign(spec, jobs=1)
+        fanned = run_campaign(spec, jobs=3)
+        assert normalized_dump(fanned) == normalized_dump(sequential)
+
+    def test_progress_reports_every_job(self, store_path):
+        spec = CampaignSpec.from_dict(self.SWEEP)
+        events = []
+        run_campaign(
+            spec, store_path=str(store_path), jobs=2,
+            progress=lambda done, total, record: events.append(
+                (done, total, record["test"], record["error"])
+            ),
+        )
+        assert len(events) == 4
+        assert [done for done, _, _, _ in events] == [1, 2, 3, 4]
+        assert all(total == 4 for _, total, _, _ in events)
+        assert all(error is None for _, _, _, error in events)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_crashed_job_is_recorded_and_the_sweep_continues(self, jobs):
+        spec = CampaignSpec.from_dict(dict(SPEC, tests=["MATS", "{bogus"]))
+        manifest = run_campaign(spec, jobs=jobs)
+        assert manifest["totals"]["jobs"] == 2
+        assert manifest["totals"]["failed"] == 1
+        assert manifest["totals"]["results"] == 1
+        healthy, crashed = manifest["jobs"]
+        assert healthy["error"] is None
+        assert crashed["error"] is not None
+        assert "ValueError" in crashed["error"]
+        assert crashed["test"] == "{bogus"
+        assert manifest["results"][0]["test"] == "MATS"
+        text = summarize(manifest)
+        assert "FAILED" in text and "ValueError" in text
+
+    def test_crash_isolation_is_deterministic_across_widths(self):
+        spec = CampaignSpec.from_dict(dict(
+            SPEC, tests=["MATS", "{broken", "MarchC-"],
+        ))
+        assert normalized_dump(run_campaign(spec, jobs=1)) == (
+            normalized_dump(run_campaign(spec, jobs=3))
+        )
+
+    def test_bad_jobs_width_rejected(self):
+        spec = CampaignSpec.from_dict(SPEC)
+        with pytest.raises(CampaignSpecError, match="jobs"):
+            run_campaign(spec, jobs=0)
+
+
+class TestSharding:
+    SWEEP = dict(SPEC, backends=["bitparallel", "serial"])
+
+    def test_shards_are_merged_and_deleted(self, store_path):
+        spec = CampaignSpec.from_dict(self.SWEEP)
+        manifest = run_campaign(
+            spec, store_path=str(store_path), jobs=2, shard=True
+        )
+        assert manifest["parallel"]["mode"] == "sharded"
+        merge = manifest["parallel"]["shard_merge"]
+        assert merge["shards"] == 4
+        # Shard mode trades live dedup away: both backends simulated,
+        # so half the merged rows were conflict-resolved duplicates.
+        assert merge["inserted"] > 0 and merge["merged"] > 0
+        assert merge["inserted"] + merge["merged"] == merge["source_rows"]
+        assert not list(
+            store_path.parent.glob(f"{store_path.name}.shard-*")
+        ), "worker shards must be cleaned up"
+        # The merged store now serves a sequential re-run entirely.
+        again = run_campaign(spec, store_path=str(store_path), jobs=1)
+        assert again["totals"]["verdicts_simulated"] == 0
+        assert again["totals"]["verdicts_from_store"] > 0
+
+    def test_sharded_manifest_identical_to_sequential(self, tmp_path):
+        spec = CampaignSpec.from_dict(self.SWEEP)
+        sequential = run_campaign(
+            spec, store_path=str(tmp_path / "seq.sqlite"), jobs=1
+        )
+        sharded = run_campaign(
+            spec, store_path=str(tmp_path / "shard.sqlite"),
+            jobs=2, shard=True,
+        )
+        assert normalized_dump(sharded) == normalized_dump(sequential)
+
+    def test_shard_requires_writable_store(self, store_path):
+        spec = CampaignSpec.from_dict(SPEC)
+        with pytest.raises(CampaignSpecError, match="--store"):
+            run_campaign(spec, jobs=2, shard=True)
+        run_campaign(spec, store_path=str(store_path))  # build the store
+        with pytest.raises(CampaignSpecError, match="readonly"):
+            run_campaign(
+                spec, store_path=str(store_path), jobs=2,
+                shard=True, store_readonly=True,
+            )

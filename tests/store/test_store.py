@@ -249,6 +249,38 @@ def _hammer(path, offset, count, barrier):
     store.close()
 
 
+def _race_create(path, offset, barrier):
+    """One creator process: open the (initially nonexistent) store at
+    the barrier, then write a couple of rows."""
+    barrier.wait()  # maximize overlap on schema creation itself
+    store = FaultDictionaryStore(path)
+    store.put(SimKey(f"sig-{offset}", "case", 3), True)
+    store.close()
+
+
+@pytest.mark.parametrize("workers", [4])
+def test_concurrent_creation_of_a_fresh_store_is_safe(store_path, workers):
+    """N processes racing to create the same nonexistent store must all
+    succeed (a fanned-out campaign's first run does exactly this);
+    schema creation serializes on the write lock and losers no-op."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        pytest.skip("fork start method unavailable")
+    barrier = context.Barrier(workers)
+    processes = [
+        context.Process(target=_race_create, args=(store_path, w, barrier))
+        for w in range(workers)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    with FaultDictionaryStore(store_path) as store:
+        assert len(store) == workers
+
+
 @pytest.mark.parametrize("workers", [4])
 def test_concurrent_multiprocess_writes_are_all_durable(
     store_path, workers

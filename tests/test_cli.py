@@ -106,6 +106,101 @@ class TestCampaign:
         with pytest.raises(CampaignSpecError):
             main(["campaign", str(spec)])
 
+    def test_campaign_jobs_fans_out_with_live_progress(
+        self, capsys, tmp_path
+    ):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-fanout",
+            "tests": ["MATS", "MarchC-"],
+            "faults": ["SAF"],
+            "backends": ["bitparallel", "serial"],
+        }))
+        manifest_path = tmp_path / "manifest.json"
+        assert main(["campaign", str(spec), "--jobs", "2",
+                     "--store", str(tmp_path / "dict.sqlite"),
+                     "--manifest", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[4/4]" in out  # live per-job progress lines
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["parallel"] == {
+            "jobs": 2, "mode": "shared", "shard_merge": None,
+        }
+        assert manifest["totals"]["jobs"] == 4
+
+    def test_campaign_failed_job_sets_exit_code(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-crash",
+            "tests": ["MATS", "{bogus"],
+            "faults": ["SAF"],
+        }))
+        assert main(["campaign", str(spec),
+                     "--manifest", str(tmp_path / "m.json")]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "ValueError" in out
+
+    def test_campaign_shard_mode(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "name": "cli-shard",
+            "tests": ["MATS"],
+            "faults": ["SAF"],
+        }))
+        store = tmp_path / "dict.sqlite"
+        assert main(["campaign", str(spec), "--jobs", "2", "--shard",
+                     "--store", str(store),
+                     "--manifest", str(tmp_path / "m.json")]) == 0
+        assert store.exists()
+        assert not list(tmp_path.glob("dict.sqlite.shard-*"))
+
+
+class TestStoreSubcommand:
+    def populate(self, tmp_path):
+        store = tmp_path / "dict.sqlite"
+        assert main(["simulate", "MarchC-", "SAF", "TF",
+                     "--store", str(store)]) in (0, 1)
+        return store
+
+    def test_stats(self, capsys, tmp_path):
+        store = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "schema 2" in out and "rows" in out
+
+    def test_stats_json(self, capsys, tmp_path):
+        store = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stats", str(store), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["rows"] > 0
+        assert stats["by_domain"] == {"sp": stats["rows"]}
+
+    def test_compact(self, capsys, tmp_path):
+        store = self.populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "compact", str(store),
+                     "--max-rows", "5", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["rows_after"] == 5
+        assert main(["store", "stats", str(store), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["rows"] == 5
+
+    def test_merge(self, capsys, tmp_path):
+        first = self.populate(tmp_path)
+        second_dir = tmp_path / "second"
+        second_dir.mkdir()
+        second = self.populate(second_dir)
+        dest = tmp_path / "merged.sqlite"
+        capsys.readouterr()
+        assert main(["store", "merge", str(dest), str(first),
+                     str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "merged 2 sources" in out
+        assert main(["store", "stats", str(dest), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["rows"] > 0
+
 
 class TestListings:
     def test_catalog(self, capsys):
