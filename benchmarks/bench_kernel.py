@@ -19,7 +19,11 @@ Compared paths:
 * **store warm start** -- two *separate processes* running the same
   workload against one persistent fault-dictionary store
   (``--store``): the first simulates and writes through, the second
-  answers every verdict from disk without touching a backend.
+  answers every verdict from disk without touching a backend;
+* **service warm read** -- the same two-client warm start through a
+  live verdict-service daemon (``repro serve``) over its Unix socket:
+  no client opens SQLite, the second client answers every verdict
+  from the service (``table3_size3_service`` in the JSON record).
 
 ``python benchmarks/bench_kernel.py`` prints the comparison table and
 writes the machine-readable ``BENCH_kernel.json`` next to the repo
@@ -47,6 +51,7 @@ from repro.faults import FaultList
 from repro.kernel import SimulationKernel
 from repro.store.campaign import CampaignSpec, normalized_manifest, \
     run_campaign
+from repro.store.service import VerdictService
 from repro.march.catalog import (
     MARCH_A,
     MARCH_B,
@@ -233,6 +238,66 @@ def measure_campaign_fanout(jobs):
     return seconds, normalized_manifest(manifest)
 
 
+def fanout_guard_fields(cpus):
+    """The honesty fields of the ``campaign_fanout`` bench record.
+
+    Below FANOUT_MIN_CPUS the >= 2x wall-clock guard is *skipped*, so
+    the recorded ratio (often sub-1x on a 1-CPU runner) is an
+    unenforced measurement, not a regression.  The record must say so,
+    or trajectory readers ingest it as one.
+    """
+    if cpus >= FANOUT_MIN_CPUS:
+        return {"guard_enforced": True, "skipped_reason": None}
+    return {
+        "guard_enforced": False,
+        "skipped_reason": (
+            f"{cpus} CPU(s) < {FANOUT_MIN_CPUS} (FANOUT_MIN_CPUS): the"
+            f" >= {REQUIRED_FANOUT_SPEEDUP}x wall-clock guard was not"
+            " enforced; fanout_speedup is informational only"
+        ),
+    }
+
+
+# -- verdict-service warm read -------------------------------------------------
+#
+# The acceptance workload of the service subsystem: the Table 3 matrix
+# through a live verdict-service daemon over its Unix socket.  The
+# first client simulates and writes through the socket; the second
+# must answer every verdict from the service without touching a
+# backend -- the cross-process --store warm start, minus any
+# client-side SQLite open.
+
+
+def measure_service_warm_read():
+    """((first_s, second_s), matrices) through one verdict service."""
+    with tempfile.TemporaryDirectory() as scratch:
+        root = pathlib.Path(scratch)
+        service = VerdictService(
+            root / "service-store.sqlite", root / "verdict.sock"
+        )
+        service.start()
+        try:
+            runs = []
+            for _ in range(2):
+                kernel = SimulationKernel(
+                    backend="serial", store=service.url
+                )
+                try:
+                    started = time.perf_counter()
+                    matrix = kernel.detection_matrix(
+                        TESTS, table3_faults(), SIZE
+                    )
+                    seconds = time.perf_counter() - started
+                finally:
+                    kernel.close()
+                runs.append(
+                    (seconds, json.dumps(matrix, sort_keys=True))
+                )
+        finally:
+            service.stop()
+    return runs
+
+
 # -- pytest-benchmark entry points --------------------------------------------
 
 
@@ -362,6 +427,33 @@ def test_campaign_fanout_deterministic_and_fast():
     )
 
 
+def test_service_warm_read_guard():
+    """Acceptance criterion of the verdict service: socket-served
+    verdicts are byte-identical to in-memory simulation, and the two
+    clients of one daemon agree with each other."""
+    (first_seconds, first_matrix), (second_seconds, second_matrix) = (
+        measure_service_warm_read()
+    )
+    assert first_matrix == second_matrix, "service-served verdicts diverged"
+    in_memory = json.dumps(
+        SimulationKernel().detection_matrix(TESTS, table3_faults(), SIZE),
+        sort_keys=True,
+    )
+    assert second_matrix == in_memory, "service diverged from in-memory"
+
+
+def test_fanout_record_marks_unenforced_guard():
+    """The bench record must flag a skipped fan-out guard: a sub-1x
+    ratio measured on a 1-CPU runner is a skipped check, not a
+    regression, and trajectory readers need the marker to tell them
+    apart."""
+    enforced = fanout_guard_fields(FANOUT_MIN_CPUS)
+    assert enforced == {"guard_enforced": True, "skipped_reason": None}
+    skipped = fanout_guard_fields(FANOUT_MIN_CPUS - 1)
+    assert skipped["guard_enforced"] is False
+    assert "not" in skipped["skipped_reason"]
+
+
 def test_cold_wall_clock_guard():
     """Wall-clock regression guard for the uncached kernel path."""
     seconds, _ = _best_of(2, run_kernel_cold, table3_faults())
@@ -395,8 +487,12 @@ def collect_benchmarks():
         )
     store_first_seconds = store_runs[0][0]
     store_second_seconds = store_runs[1][0]
+    service_runs = measure_service_warm_read()
+    service_first_seconds = service_runs[0][0]
+    service_second_seconds = service_runs[1][0]
     fanout_sequential_seconds, _ = measure_campaign_fanout(1)
     fanout_parallel_seconds, _ = measure_campaign_fanout(FANOUT_JOBS)
+    cpus = os.cpu_count() or 1
     return {
         "schema": 1,
         "benchmark": "bench_kernel",
@@ -459,10 +555,24 @@ def collect_benchmarks():
                     store_first_seconds / store_second_seconds
                 ),
             },
+            "table3_size3_service": {
+                "tests": len(TESTS),
+                "fault_cases": len(faults.instances(SIZE)),
+                "size": SIZE,
+                "backend": "serial",
+                "transport": "unix-socket",
+                "seconds": {
+                    "first_cold_client": service_first_seconds,
+                    "second_warm_client": service_second_seconds,
+                },
+                "service_warm_speedup": (
+                    service_first_seconds / service_second_seconds
+                ),
+            },
             "campaign_fanout": {
                 "jobs": len(fanout_spec().jobs()),
                 "workers": FANOUT_JOBS,
-                "cpus": os.cpu_count(),
+                "cpus": cpus,
                 "backend": "serial",
                 "sizes": [7, 8],
                 "seconds": {
@@ -472,6 +582,7 @@ def collect_benchmarks():
                 "fanout_speedup": (
                     fanout_sequential_seconds / fanout_parallel_seconds
                 ),
+                **fanout_guard_fields(cpus),
             },
         },
     }
@@ -526,6 +637,21 @@ def main():
         f" {store['seconds']['second_cold_process'] * 1e3:9.2f} ms"
         f"   {store['cross_process_warm_speedup']:7.1f}x"
     )
+    service = payload["workloads"]["table3_size3_service"]
+    print(
+        f"verdict-service warm read ({service['tests']} tests x"
+        f" {service['fault_cases']} cases, {service['backend']} backend,"
+        " unix socket)"
+    )
+    print(
+        f"  {'first client (simulates)':26s}"
+        f" {service['seconds']['first_cold_client'] * 1e3:9.2f} ms"
+    )
+    print(
+        f"  {'second client (service)':26s}"
+        f" {service['seconds']['second_warm_client'] * 1e3:9.2f} ms"
+        f"   {service['service_warm_speedup']:7.1f}x"
+    )
     fanout = payload["workloads"]["campaign_fanout"]
     print(
         f"campaign fan-out ({fanout['jobs']} jobs, serial backend,"
@@ -541,6 +667,8 @@ def main():
         f" {fanout['seconds']['parallel'] * 1e3:9.2f} ms"
         f"   {fanout['fanout_speedup']:7.1f}x"
     )
+    if not fanout["guard_enforced"]:
+        print(f"  (guard skipped: {fanout['skipped_reason']})")
     path = write_bench_json(payload)
     print(f"wrote {path}")
 

@@ -7,6 +7,10 @@ Examples::
     python -m repro simulate "{any(w0); up(r0,w1); down(r1)}" SAF
     python -m repro simulate MarchC- SAF TF --store results.sqlite
     python -m repro campaign examples/campaign_table3.json --store results.sqlite
+    python -m repro serve results.sqlite --socket verdict.sock
+    python -m repro campaign examples/campaign_table3.json --jobs 4 \\
+        --store repro+unix://verdict.sock
+    python -m repro store stats --socket verdict.sock
     python -m repro catalog
     python -m repro models
     python -m repro table3
@@ -239,10 +243,47 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if manifest["totals"]["failed"] else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from .store.service import VerdictService
+
+    service = VerdictService(args.store, args.socket)
+    service.start()
+
+    def on_signal(signum: int, frame: object) -> None:
+        service.request_stop()
+
+    # SIGTERM/SIGINT flag the stop; the teardown (WAL checkpoint,
+    # socket unlink) runs below, in the main thread.
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    print(
+        f"verdict service: store {service.store_path} on"
+        f" {service.socket_path} (pid {os.getpid()});"
+        f" point clients at --store {service.url}",
+        flush=True,
+    )
+    try:
+        service.wait()
+        summary = service.snapshot_stats()
+    finally:
+        service.stop()
+    stats = summary["store_stats"]
+    print(
+        f"verdict service stopped: {summary['row_stats']['rows']} rows,"
+        f" {stats['hits']} hits / {stats['misses']} misses /"
+        f" {stats['writes']} writes over"
+        f" {summary['clients']['total']} client(s)"
+    )
+    return 0
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     import json as json_module
 
-    from .store import FaultDictionaryStore
+    from .store import FaultDictionaryStore, StoreError
 
     def emit(payload: dict, human: str) -> None:
         if args.json:
@@ -250,7 +291,40 @@ def cmd_store(args: argparse.Namespace) -> int:
         else:
             print(human)
 
+    if getattr(args, "socket", None) and getattr(args, "path", None):
+        # Silent precedence would compact/inspect the daemon's store
+        # while the operator believes PATH was touched.
+        raise StoreError(
+            f"give either a store PATH or --socket, not both"
+            f" (got {args.path} and --socket {args.socket})"
+        )
+
     if args.store_command == "stats":
+        if args.socket:
+            from .store.service import ServiceStore
+
+            with ServiceStore(args.socket) as client:
+                payload = client.server_stats()
+            rows = payload["row_stats"]
+            store_stats = payload["store_stats"]
+            clients = payload["clients"]
+            per_client = ", ".join(
+                f"#{client_id}: {c['hits']}h/{c['misses']}m/{c['writes']}w"
+                for client_id, c in sorted(
+                    clients["per_client"].items(), key=lambda kv: int(kv[0])
+                )
+            )
+            emit(payload, (
+                f"service [{args.socket}] pid {payload['pid']}:"
+                f" {rows['rows']} rows,"
+                f" {store_stats['hits']} hits / {store_stats['misses']}"
+                f" misses / {store_stats['writes']} writes,"
+                f" {clients['active']}/{clients['total']} client(s)"
+                f" connected ({per_client})"
+            ))
+            return 0
+        if args.path is None:
+            raise StoreError("store stats needs a PATH or --socket")
         with FaultDictionaryStore(args.path, readonly=True) as store:
             stats = store.row_stats()
         domains = ", ".join(
@@ -267,26 +341,44 @@ def cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "compact":
         from pathlib import Path
 
-        from .store import StoreError
+        if args.socket:
+            from .store.service import ServiceStore
 
-        # Writable opens create missing files; a compaction target
-        # must already exist or a typo'd path would silently "compact"
-        # a fresh empty store.
-        if not Path(args.path).exists():
-            raise StoreError(f"store {args.path} does not exist")
-        with FaultDictionaryStore(args.path) as store:
-            stats = store.compact(
-                max_rows=args.max_rows,
-                max_age=args.max_age,
-                vacuum=not args.no_vacuum,
-            )
+            with ServiceStore(args.socket) as client:
+                stats = client.compact(
+                    max_rows=args.max_rows,
+                    max_age=args.max_age,
+                    vacuum=not args.no_vacuum,
+                )
+        else:
+            if args.path is None:
+                raise StoreError("store compact needs a PATH or --socket")
+            # Writable opens create missing files; a compaction target
+            # must already exist or a typo'd path would silently
+            # "compact" a fresh empty store.
+            if not Path(args.path).exists():
+                raise StoreError(f"store {args.path} does not exist")
+            with FaultDictionaryStore(args.path) as store:
+                stats = store.compact(
+                    max_rows=args.max_rows,
+                    max_age=args.max_age,
+                    vacuum=not args.no_vacuum,
+                )
         emit(stats, (
-            f"store [{args.path}]: {stats['rows_before']} rows ->"
+            f"store [{stats['path']}]: {stats['rows_before']} rows ->"
             f" {stats['rows_after']}"
             f" (-{stats['removed_by_age']} by age,"
             f" -{stats['removed_by_cap']} by cap),"
             f" {stats['bytes_before']} -> {stats['bytes_after']} bytes"
         ))
+        return 0
+
+    if args.store_command == "shutdown":
+        from .store.service import ServiceStore
+
+        with ServiceStore(args.socket) as client:
+            payload = client.shutdown_server()
+        emit(payload, f"verdict service on {args.socket} stopping")
         return 0
 
     if args.store_command == "merge":
@@ -353,9 +445,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add_store_options(command_parser: argparse.ArgumentParser) -> None:
         command_parser.add_argument(
             "--store", metavar="PATH", default=None,
-            help="persistent fault-dictionary store (SQLite): verdicts"
-                 " are read through and written through it, so repeated"
-                 " invocations share simulation work across processes",
+            help="persistent fault-dictionary store: an SQLite file"
+                 " path, or a repro+unix:///path/to.sock verdict-service"
+                 " URL (see `repro serve`); verdicts are read through"
+                 " and written through it, so repeated invocations share"
+                 " simulation work across processes",
         )
         command_parser.add_argument(
             "--store-readonly", action="store_true",
@@ -447,20 +541,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_options(camp)
     camp.set_defaults(fn=cmd_campaign)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the verdict-service daemon: one process owns the"
+             " writable store, every client talks to it over a Unix"
+             " socket instead of opening SQLite",
+    )
+    serve.add_argument("store", help="store file (SQLite) the daemon owns")
+    serve.add_argument(
+        "--socket", metavar="SOCK", default=None,
+        help="Unix socket path to listen on (default: <store>.sock);"
+             " clients connect with --store repro+unix://SOCK",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
     store = sub.add_parser(
         "store",
         help="inspect and maintain a persistent fault-dictionary store",
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
     store_stats = store_sub.add_parser(
-        "stats", help="row population, per-domain breakdown, file size"
+        "stats", help="row population, per-domain breakdown, file size;"
+                      " with --socket, a verdict service's full ledger"
+                      " including per-client hit/miss/write counters"
     )
-    store_stats.add_argument("path", help="store file (SQLite)")
+    store_stats.add_argument(
+        "path", nargs="?", default=None, help="store file (SQLite)"
+    )
+    store_stats.add_argument(
+        "--socket", metavar="SOCK", default=None,
+        help="ask the verdict service on this Unix socket instead of"
+             " opening a store file",
+    )
     store_compact = store_sub.add_parser(
         "compact",
         help="prune stale rows (LRU by last_used) and reclaim disk space",
     )
-    store_compact.add_argument("path", help="store file (SQLite)")
+    store_compact.add_argument(
+        "path", nargs="?", default=None, help="store file (SQLite)"
+    )
+    store_compact.add_argument(
+        "--socket", metavar="SOCK", default=None,
+        help="compact through the verdict service on this Unix socket"
+             " instead of opening a store file",
+    )
     store_compact.add_argument(
         "--max-rows", type=int, default=None, metavar="N",
         help="keep at most N rows, dropping the least recently used",
@@ -482,7 +606,17 @@ def build_parser() -> argparse.ArgumentParser:
     store_merge.add_argument(
         "sources", nargs="+", help="source store files to merge in"
     )
-    for store_parser in (store_stats, store_compact, store_merge):
+    store_shutdown = store_sub.add_parser(
+        "shutdown",
+        help="gracefully stop a verdict-service daemon (it checkpoints"
+             " its WAL and unlinks the socket)",
+    )
+    store_shutdown.add_argument(
+        "--socket", metavar="SOCK", required=True,
+        help="Unix socket the verdict service listens on",
+    )
+    for store_parser in (store_stats, store_compact, store_merge,
+                         store_shutdown):
         store_parser.add_argument(
             "--json", action="store_true",
             help="print the machine-readable JSON report instead of text",

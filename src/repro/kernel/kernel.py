@@ -28,6 +28,7 @@ Results are bit-identical to the legacy per-call paths; see
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import (
     Callable,
     Dict,
@@ -93,9 +94,11 @@ class SimulationKernel:
         Optional shared :class:`MemoryPool`; one is created per kernel
         by default.
     store:
-        Path to the persistent fault-dictionary store (or a ready
-        :class:`~repro.store.FaultDictionaryStore`), layered under the
-        LRU as a write-through/read-through second tier; ``None``
+        Path to the persistent fault-dictionary store, a
+        ``repro+unix:///path/to.sock`` verdict-service URL (the
+        daemon owns the SQLite file; this kernel becomes a socket
+        client), or a ready store instance -- layered under the LRU
+        as a write-through/read-through second tier; ``None``
         (default) keeps the dictionary purely in-memory.
     store_readonly:
         Open the store for lookups only: fresh verdicts stay
@@ -120,10 +123,10 @@ class SimulationKernel:
     ) -> None:
         self.pool = pool or MemoryPool()
         self.backend = resolve_backend(backend, self.pool)
-        # A store the kernel opened from a path is the kernel's to
-        # close; a caller-provided instance may be shared with other
-        # kernels, so close() must leave it alone.
-        self._owns_store = not isinstance(store, FaultDictionaryStore)
+        # A store the kernel opened from a path or service URL is the
+        # kernel's to close; a caller-provided instance may be shared
+        # with other kernels, so close() must leave it alone.
+        self._owns_store = isinstance(store, (str, Path)) or store is None
         self.store = resolve_store(store, readonly=store_readonly)
         memory = FaultDictionaryCache(cache_size)
         self.cache: Union[FaultDictionaryCache, TieredCache] = (

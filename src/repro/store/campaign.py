@@ -22,7 +22,10 @@ The spec is plain JSON (see ``examples/campaign_table3.json``)::
 ``tests`` accepts catalog names or literal March notation; ``faults``
 are fault-model names; ``sizes``/``backends`` default to ``[3]`` /
 ``["bitparallel"]``.  An optional ``"store"`` field names the
-dictionary file (the CLI ``--store`` flag overrides it).
+dictionary file -- or a ``repro+unix:///path/to.sock`` verdict-service
+URL, in which case every worker becomes a socket client of one
+serialized store owner and no worker opens SQLite at all (the CLI
+``--store`` flag overrides it).
 
 Execution model
 ---------------
@@ -60,6 +63,7 @@ import copy
 import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import (
@@ -77,6 +81,7 @@ from ..faults.library import MODEL_REGISTRY
 from ..kernel import BACKENDS, SimulationKernel
 from ..march.catalog import by_name
 from ..march.test import MarchTest, parse_march
+from .service import ServiceStore, is_service_url
 from .store import FaultDictionaryStore
 
 #: Generation of the manifest payload layout.  v2: one job per
@@ -340,10 +345,13 @@ def run_campaign(
     the kernel's usual byte-identical results, so the fan-out changes
     wall-clock, never content.
 
-    ``shard=True`` (needs a writable store and is pointless without
-    one) gives every job a private shard store and merges the shards
-    into the main dictionary atomically after the sweep; the default
-    writes through the shared WAL store, deduplicating live.
+    ``shard=True`` (needs a writable *file* store and is pointless
+    without one) gives every job a private shard store and merges the
+    shards into the main dictionary atomically after the sweep; the
+    default writes through the shared WAL store, deduplicating live.
+    With a verdict-service URL as the store, workers write through the
+    daemon instead -- one serialized WAL owner, no shard-and-merge
+    step -- which is the designated substrate for cross-host fan-out.
 
     ``progress`` is called as each job completes (in completion order)
     with ``(done, total, job_record)``.
@@ -351,12 +359,18 @@ def run_campaign(
     if jobs < 1:
         raise CampaignSpecError("jobs must be >= 1")
     store = store_path if store_path is not None else spec.store
+    service = store is not None and is_service_url(str(store))
     if shard:
         if store is None:
             raise CampaignSpecError("shard mode needs --store")
         if store_readonly:
             raise CampaignSpecError(
                 "shard mode writes shards; it cannot run --store-readonly"
+            )
+        if service:
+            raise CampaignSpecError(
+                "shard mode needs a file store; a verdict service"
+                " (repro+unix://) already serializes concurrent writers"
             )
 
     def shard_path(index: int) -> str:
@@ -376,7 +390,16 @@ def run_campaign(
     ]
 
     started_campaign = time.perf_counter()
-    if store is not None and not store_readonly:
+    if service:
+        # No client-side SQLite open: just handshake with the daemon so
+        # an unreachable (or foreign) socket fails the campaign up
+        # front instead of failing every job.
+        probe = ServiceStore(str(store))
+        try:
+            probe.ping()
+        finally:
+            probe.close()
+    elif store is not None and not store_readonly:
         # Pre-create the (shared store / shard-merge target) schema in
         # the parent: workers then only ever open an existing store,
         # and a store problem fails the campaign up front instead of
@@ -396,26 +419,54 @@ def run_campaign(
         for request in requests:
             record_completion(request.index, _execute_job(request))
     else:
+        # A hard worker death (SIGKILL, OOM, segfault) marks the whole
+        # pool broken: every live future fails with BrokenProcessPool,
+        # and submit/wait themselves can raise it if the break lands
+        # while jobs are still being scheduled.  None of that may cost
+        # the manifest -- completed records are harvested, every
+        # unfinished job is written down as failed, the campaign
+        # returns (and the CLI exits 1 via totals["failed"]).
+        pool_break: Optional[BaseException] = None
+        futures: Dict[Any, _JobRequest] = {}
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(requests)),
             mp_context=_pool_context(),
         ) as pool:
-            futures = {
-                pool.submit(_execute_job, request): request
-                for request in requests
-            }
-            pending = set(futures)
-            while pending:
-                finished, pending = wait(
-                    pending, return_when=FIRST_COMPLETED
-                )
-                for future in finished:
-                    request = futures[future]
+            try:
+                for request in requests:
+                    futures[pool.submit(_execute_job, request)] = request
+                pending = set(futures)
+                while pending:
+                    finished, pending = wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        request = futures[future]
+                        try:
+                            record = future.result()
+                        except BaseException as error:  # hard worker crash
+                            record = _error_record(request, error)
+                        record_completion(request.index, record)
+            except BrokenProcessPool as error:
+                pool_break = error
+                # Harvest whatever still finished cleanly before the
+                # pool died: those verdicts are real and already in
+                # the store; their records must not be lost.
+                for future, request in futures.items():
+                    if records[request.index] is not None \
+                            or not future.done():
+                        continue
                     try:
                         record = future.result()
-                    except BaseException as error:  # broken pool / hard crash
-                        record = _error_record(request, error)
+                    except BaseException as inner:
+                        record = _error_record(request, inner)
                     record_completion(request.index, record)
+        if pool_break is not None:
+            for request in requests:
+                if records[request.index] is None:
+                    record_completion(
+                        request.index, _error_record(request, pool_break)
+                    )
 
     merge_stats: Optional[Dict[str, int]] = None
     if shard:

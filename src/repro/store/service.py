@@ -1,0 +1,900 @@
+"""The verdict service: a long-lived daemon wrapping one shared store.
+
+PR 3 gave every process a direct SQLite connection to the shared
+fault-dictionary file, and PR 4 fanned campaigns out over worker pools
+hammering that one WAL.  Both scale as far as a filesystem scales: every
+client needs the file (same host or same network mount), every writer
+takes the write lock itself, and cross-host fan-out had to fall back to
+ship-a-shard-and-merge.  This module is the next step of the ROADMAP's
+store lineage: **one** process owns the writable
+:class:`~repro.store.store.FaultDictionaryStore`, and everything else
+talks to it over a Unix domain socket -- clients stop opening SQLite
+files at all.
+
+Protocol
+--------
+Length-prefixed JSON frames: a 4-byte big-endian byte count, then one
+UTF-8 JSON object.  Requests carry an ``"op"`` field::
+
+    {"op": "ping"}
+    {"op": "get_many", "keys": [[signature, case, size, domain], ...]}
+    {"op": "put_many", "rows": [[signature, case, size, domain, verdict], ...]}
+    {"op": "stats"}
+    {"op": "compact", "max_rows": N, "max_age": S, "vacuum": true}
+    {"op": "shutdown"}
+
+Responses are JSON objects with ``"ok"``; errors come back as
+``{"ok": false, "error": "..."}`` instead of killing the connection.
+Verdicts cross the wire in the store's canonical row encoding
+(:func:`~repro.store.store.encode_verdict`), so detection booleans and
+diagnosis syndromes round-trip byte-identically.  ``ping`` doubles as
+the handshake: a verdict service always answers with the
+:data:`SERVICE_MAGIC` tag and its protocol generation, so a client (or
+a second server racing for the socket) can tell a live service from a
+stale socket file or a foreign listener -- foreign sockets are refused,
+never unlinked.
+
+Topology
+--------
+* :class:`VerdictService` -- the server (``repro serve STORE --socket
+  SOCK``): threaded, one handler per client, every batch funnelled
+  through the store's existing lock, per-client hit/miss/write
+  counters, WAL checkpoint on graceful shutdown.
+* :class:`ServiceStore` -- the client: the same
+  ``get``/``get_many``/``put``/``put_many``/``stats`` surface as
+  :class:`~repro.store.store.FaultDictionaryStore`, so
+  :class:`~repro.store.tiered.TieredCache` and
+  :class:`~repro.kernel.kernel.SimulationKernel` cannot tell the
+  difference.  Pass a ``repro+unix:///path/to.sock`` URL anywhere a
+  store path is accepted (``--store``, ``GeneratorConfig.store_path``,
+  campaign specs) and :func:`~repro.store.store.resolve_store`
+  dispatches here.  Connections are lazy and self-healing: a request
+  that hits a dead socket reconnects (and re-handshakes) once before
+  giving up, so a service restart does not kill long-lived clients.
+
+``repro campaign --jobs N --store repro+unix://...`` is the designated
+cross-host fan-out substrate: N concurrent writers become N socket
+clients of one serialized WAL owner, with no shard-and-merge step.
+
+This module depends on :mod:`repro.kernel` (for :class:`SimKey`), which
+imports the store package at startup -- import it as
+``repro.store.service`` directly, never from ``repro.store``'s
+namespace (the same rule as :mod:`repro.store.campaign`).
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import socket
+import stat
+import struct
+import threading
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..kernel.cache import SimKey
+from .store import (
+    SCHEMA_VERSION,
+    SERVICE_URL_PREFIX,
+    FaultDictionaryStore,
+    StoreError,
+    StoreStats,
+    decode_verdict,
+    encode_verdict,
+)
+
+#: Generation of the wire protocol.  Bump on incompatible frame or op
+#: changes; a client refuses to talk to a server of another generation.
+PROTOCOL_VERSION = 1
+
+#: The handshake tag every ping answer carries.  A listener that does
+#: not identify with it is a foreign server: refused, never replaced.
+SERVICE_MAGIC = "repro-verdict-service"
+
+#: Hard ceiling on one frame's body.  Real batches are a few megabytes
+#: at most; a larger announced length means the peer is not speaking
+#: this protocol (e.g. an HTTP client hitting the socket).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Socket send/receive timeout for clients and the server's probe of a
+#: possibly-stale socket.  Generous: a ``compact`` VACUUM of a huge
+#: dictionary is the slowest legitimate request.
+DEFAULT_TIMEOUT_SECONDS = 120.0
+
+#: How many *disconnected* clients keep an individual entry in the
+#: per-client ledger.  A long-lived daemon serves an unbounded client
+#: stream (every campaign worker is one connection); beyond this cap
+#: the oldest retirees are folded into one ``retired`` aggregate so
+#: the ledger -- and the ``stats`` payload -- stays bounded while the
+#: write-accounting invariant (per-client + retired == store writes)
+#: still holds.
+MAX_CLIENT_LEDGER = 4096
+
+_HEADER = struct.Struct(">I")
+
+
+class ServiceError(StoreError):
+    """The verdict service (or its socket) cannot serve the request."""
+
+
+def is_service_url(target: Any) -> bool:
+    """True when ``target`` is a ``repro+unix://`` service URL."""
+    return isinstance(target, str) and target.startswith(SERVICE_URL_PREFIX)
+
+
+def service_socket_path(target: Union[str, Path]) -> Path:
+    """The socket path behind a service URL (bare paths pass through)."""
+    if isinstance(target, Path):
+        return target
+    if is_service_url(target):
+        target = target[len(SERVICE_URL_PREFIX):]
+        if not target:
+            raise ServiceError(
+                f"service URL names no socket path"
+                f" (expected {SERVICE_URL_PREFIX}/path/to.sock)"
+            )
+    return Path(target)
+
+
+def service_url(socket_path: Union[str, Path]) -> str:
+    """The ``repro+unix://`` URL for a socket path."""
+    return SERVICE_URL_PREFIX + str(socket_path)
+
+
+# -- framing ---------------------------------------------------------------------
+
+
+def _send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or ``None`` on a clean EOF."""
+    chunks: List[bytes] = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on EOF, :class:`ServiceError` on garbage."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"peer announced a {length}-byte frame (limit"
+            f" {MAX_FRAME_BYTES}); it is not speaking the verdict-service"
+            " protocol"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(
+            f"undecodable verdict-service frame: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise ServiceError("verdict-service frames must be JSON objects")
+    return payload
+
+
+# -- wire form of keys and rows --------------------------------------------------
+
+
+def _wire_key(key: "SimKey") -> List[Any]:
+    return [key.signature, key.case, key.size, key.domain]
+
+
+def _key_from_wire(row: Any) -> "SimKey":
+    if not isinstance(row, (list, tuple)) or len(row) != 4:
+        raise ServiceError(f"malformed wire key {row!r}")
+    signature, case, size, domain = row
+    if not (isinstance(signature, str) and isinstance(case, str)
+            and isinstance(size, int) and isinstance(domain, str)):
+        raise ServiceError(f"malformed wire key {row!r}")
+    return SimKey(signature, case, size, domain)
+
+
+# -- the client ------------------------------------------------------------------
+
+
+class ServiceStore:
+    """A verdict store served over a Unix socket instead of a file.
+
+    Drop-in for :class:`FaultDictionaryStore` wherever the kernel or
+    the campaign runner uses one: same lookup/write surface, same
+    :class:`StoreStats` counters (this client's view; the server keeps
+    its own per-client ledger).  ``readonly=True`` is enforced
+    client-side exactly like the file store's readonly mode: puts
+    become counted no-ops and ``compact`` is refused.
+
+    >>> client = ServiceStore("repro+unix:///tmp/verdict.sock")  # doctest: +SKIP
+    >>> client.get_many(keys)                                    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path],
+        readonly: bool = False,
+        timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        self.socket_path = service_socket_path(target)
+        self.url = service_url(self.socket_path)
+        self.readonly = readonly
+        self.timeout = timeout
+        self.stats = StoreStats()
+        #: The server's last handshake answer (pid, store path, schema).
+        self.server: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection -------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(str(self.socket_path))
+        except OSError as error:
+            sock.close()
+            raise ServiceError(
+                f"no verdict service at {self.socket_path}: {error};"
+                " start one with `repro serve STORE --socket SOCK`"
+            ) from error
+        # Connected: from here on, every failure means the listener is
+        # not (or no longer) a verdict service -- a garbage answer, a
+        # peer that hangs up mid-handshake -- and is classified as
+        # such, never as "nothing listening".
+        try:
+            _send_frame(sock, {"op": "ping"})
+            hello = _recv_frame(sock)
+        except ServiceError as error:
+            sock.close()
+            raise ServiceError(
+                f"{self.socket_path} is not a verdict service: {error}"
+            ) from error
+        except OSError as error:
+            sock.close()
+            raise ServiceError(
+                f"the listener on {self.socket_path} is not a verdict"
+                f" service (handshake failed: {error})"
+            ) from error
+        if hello is None or hello.get("service") != SERVICE_MAGIC:
+            sock.close()
+            raise ServiceError(
+                f"the listener on {self.socket_path} is not a verdict"
+                " service (it did not answer the handshake); refusing"
+                " to talk to it"
+            )
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            sock.close()
+            raise ServiceError(
+                f"verdict service on {self.socket_path} speaks protocol"
+                f" {hello.get('protocol')}, this client speaks"
+                f" {PROTOCOL_VERSION}"
+            )
+        self.server = hello
+        return sock
+
+    def _drop_connection(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip, reconnecting once across a server restart.
+
+        Retrying a write is safe: every ``put_many`` is an idempotent
+        batch of canonical upserts, so at-least-once delivery cannot
+        corrupt the dictionary.
+        """
+        with self._lock:
+            for attempt in (0, 1):
+                if self._sock is None:
+                    self._sock = self._connect()
+                try:
+                    _send_frame(self._sock, payload)
+                    response = _recv_frame(self._sock)
+                except ServiceError:
+                    # The peer broke framing: whatever else sits in the
+                    # stream is unusable (e.g. the body of an oversize
+                    # frame).  Drop the connection so the next request
+                    # starts clean instead of reading mid-body bytes as
+                    # a header forever.
+                    self._drop_connection()
+                    raise
+                except OSError as error:
+                    self._drop_connection()
+                    if attempt:
+                        raise ServiceError(
+                            f"lost the verdict service at"
+                            f" {self.socket_path}: {error}"
+                        ) from error
+                    continue
+                if response is None:
+                    # Server went away mid-request (restart, shutdown):
+                    # reconnect once, then give up.
+                    self._drop_connection()
+                    if attempt:
+                        raise ServiceError(
+                            f"verdict service at {self.socket_path} closed"
+                            " the connection"
+                        )
+                    continue
+                if not response.get("ok"):
+                    raise ServiceError(
+                        response.get("error")
+                        or "verdict service refused the request"
+                    )
+                return response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- lookups ----------------------------------------------------------------
+
+    def _lookup(self, keys: Sequence["SimKey"]) -> Dict["SimKey", Any]:
+        """One ``get_many`` round trip, no client-side stat effects."""
+        if not keys:
+            return {}
+        response = self._request(
+            {"op": "get_many", "keys": [_wire_key(key) for key in keys]}
+        )
+        found: Dict["SimKey", Any] = {}
+        for row in response.get("found", ()):
+            if not isinstance(row, (list, tuple)) or len(row) != 5:
+                raise ServiceError(f"malformed verdict row {row!r}")
+            found[_key_from_wire(row[:4])] = decode_verdict(row[4])
+        return found
+
+    def get(self, key: "SimKey", default: Any = None) -> Any:
+        found = self._lookup([key])
+        if key in found:
+            self.stats.hits += 1
+            return found[key]
+        self.stats.misses += 1
+        return default
+
+    def get_many(self, keys: Iterable["SimKey"]) -> Dict["SimKey", Any]:
+        keys = list(keys)
+        found = self._lookup(keys)
+        self.stats.hits += len(found)
+        self.stats.misses += len(keys) - len(found)
+        return found
+
+    def __contains__(self, key: "SimKey") -> bool:
+        return key in self._lookup([key])
+
+    def __len__(self) -> int:
+        return self.row_stats()["rows"]
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, key: "SimKey", value: Any) -> None:
+        self.put_many([(key, value)])
+
+    def put_many(self, pairs: Sequence[Tuple["SimKey", Any]]) -> None:
+        pairs = list(pairs)
+        if not pairs:
+            return
+        if self.readonly:
+            self.stats.skipped_writes += len(pairs)
+            return
+        rows = [
+            _wire_key(key) + [encode_verdict(value)] for key, value in pairs
+        ]
+        self._request({"op": "put_many", "rows": rows})
+        self.stats.writes += len(rows)
+
+    # -- service surface --------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Handshake round trip; returns the server's identity frame."""
+        response = self._request({"op": "ping"})
+        self.server = response
+        return response
+
+    def server_stats(self) -> Dict[str, Any]:
+        """The server's full ledger: rows, store counters, per-client
+        hit/miss/write counters (``repro store stats --socket``)."""
+        response = self._request({"op": "stats"})
+        return {k: v for k, v in response.items() if k != "ok"}
+
+    def row_stats(self) -> Dict[str, Any]:
+        """Row population of the served store (file-store parity)."""
+        return self.server_stats()["row_stats"]
+
+    def compact(
+        self,
+        max_rows: Optional[int] = None,
+        max_age: Optional[float] = None,
+        now: Optional[float] = None,
+        vacuum: bool = True,
+    ) -> Dict[str, Any]:
+        """Ask the daemon to compact the store it owns."""
+        if self.readonly:
+            raise StoreError(
+                "cannot compact through a readonly service client"
+            )
+        response = self._request({
+            "op": "compact",
+            "max_rows": max_rows,
+            "max_age": max_age,
+            "now": now,
+            "vacuum": vacuum,
+        })
+        return response["compacted"]
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        """Ask the daemon to stop gracefully (it checkpoints its WAL)."""
+        return self._request({"op": "shutdown"})
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this client's connection (the server keeps running)."""
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "ServiceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        mode = " readonly" if self.readonly else ""
+        return f"service [{self.socket_path.name}{mode}]: {self.stats}"
+
+
+# -- the server ------------------------------------------------------------------
+
+
+class VerdictService:
+    """The daemon behind ``repro serve``: one writable store, many
+    socket clients.
+
+    Threaded: an accept loop hands each client to its own handler
+    thread, and every batch lands on the store through the store's own
+    lock -- exactly the concurrency discipline a multi-threaded direct
+    opener would get, minus the per-client SQLite connections.
+
+    Lifecycle: :meth:`start` claims the socket (a *stale* socket file
+    left by a dead server is reclaimed; a live verdict service or a
+    foreign listener is refused) and opens the store;
+    :meth:`request_stop` flags shutdown from a signal handler or the
+    ``shutdown`` op; :meth:`stop` tears everything down -- handler
+    threads joined, store closed (checkpointing the WAL), socket
+    unlinked.  ``with VerdictService(...) as service:`` wraps the pair.
+    """
+
+    def __init__(
+        self,
+        store_path: Union[str, Path],
+        socket_path: Union[str, Path, None] = None,
+        timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self.socket_path = (
+            Path(socket_path)
+            if socket_path is not None
+            else self.store_path.with_name(self.store_path.name + ".sock")
+        )
+        self.timeout = timeout
+        self.store: Optional[FaultDictionaryStore] = None
+        self.started = False
+        #: Per-instance override of :data:`MAX_CLIENT_LEDGER`.
+        self.max_client_ledger = MAX_CLIENT_LEDGER
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: Dict[int, threading.Thread] = {}
+        self._connections: Dict[int, socket.socket] = {}
+        self._clients: Dict[int, Dict[str, Any]] = {}
+        self._retired = {
+            "clients": 0, "requests": 0, "hits": 0, "misses": 0,
+            "writes": 0,
+        }
+        self._client_seq = 0
+        self._state_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._teardown_lock = threading.Lock()
+        self._torn_down = False
+        self._lock_fd: Optional[int] = None
+        self._owns_socket = False
+
+    @property
+    def url(self) -> str:
+        """The ``repro+unix://`` URL clients should use."""
+        return service_url(self.socket_path)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "VerdictService":
+        """Claim the socket, open the store, begin accepting clients."""
+        if self.started:
+            raise ServiceError("verdict service already started")
+        self._acquire_lock()
+        try:
+            self._claim_socket()
+            # The store open enforces the whole store contract up front
+            # (schema refusal, corrupt-file quarantine) so a bad
+            # dictionary fails the daemon at startup, not the first
+            # client.
+            self.store = FaultDictionaryStore(self.store_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(str(self.socket_path))
+                listener.listen(128)
+            except OSError as error:
+                listener.close()
+                self.store.close()
+                self.store = None
+                raise ServiceError(
+                    f"cannot bind verdict service to {self.socket_path}:"
+                    f" {error}"
+                ) from error
+        except BaseException:
+            self._release_lock()
+            raise
+        self._owns_socket = True
+        # A short accept timeout keeps the loop responsive to the stop
+        # flag even if closing the listener ever fails to wake it.
+        listener.settimeout(0.5)
+        self._listener = listener
+        self._torn_down = False
+        self._stop.clear()
+        self.started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="verdict-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _acquire_lock(self) -> None:
+        """Take the daemon lock for this socket path, for our lifetime.
+
+        An flock on a ``<socket>.lock`` sidecar serializes daemons
+        competing for one socket: probe-then-unlink-then-bind is a
+        TOCTOU between two starters (both see "stale", both reclaim,
+        one ends up serving an unlinked inode), and a draining daemon
+        must not unlink a replacement's freshly bound socket.  The
+        lock is held until :meth:`stop` and the file is deliberately
+        never unlinked -- removing flocked lock files reintroduces the
+        race the lock exists to close.
+        """
+        lock_path = self.socket_path.with_name(
+            self.socket_path.name + ".lock"
+        )
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as error:
+            os.close(fd)
+            raise ServiceError(
+                f"a verdict service already owns {self.socket_path}"
+                f" (lock {lock_path} is held): {error}"
+            ) from error
+        self._lock_fd = fd
+
+    def _release_lock(self) -> None:
+        fd, self._lock_fd = self._lock_fd, None
+        if fd is not None:
+            os.close(fd)  # closing drops the flock
+
+    def _claim_socket(self) -> None:
+        """Reclaim a stale socket; refuse live or foreign occupants."""
+        path = self.socket_path
+        try:
+            mode = os.lstat(path).st_mode
+        except FileNotFoundError:
+            return
+        if not stat.S_ISSOCK(mode):
+            raise ServiceError(
+                f"socket path {path} exists and is not a socket;"
+                " refusing to replace it"
+            )
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(min(self.timeout, 5.0))
+        try:
+            probe.connect(str(path))
+        except OSError:
+            # Nobody listening: the socket file outlived its server.
+            probe.close()
+            path.unlink()
+            return
+        try:
+            _send_frame(probe, {"op": "ping"})
+            hello = _recv_frame(probe)
+        except (OSError, ServiceError):
+            hello = None
+        finally:
+            probe.close()
+        if hello is not None and hello.get("service") == SERVICE_MAGIC:
+            raise ServiceError(
+                f"a verdict service (pid {hello.get('pid')}, store"
+                f" {hello.get('store')}) is already serving on {path}"
+            )
+        raise ServiceError(
+            f"{path} is busy with a foreign (non-verdict-service)"
+            " listener; refusing to replace it"
+        )
+
+    def request_stop(self) -> None:
+        """Flag shutdown without tearing down (signal-handler safe)."""
+        self._stop.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until shutdown is requested (signal or shutdown op)."""
+        return self._stop.wait(timeout)
+
+    def stop(self) -> None:
+        """Tear down: close clients, join threads, checkpoint, unlink.
+
+        Idempotent; a concurrent second caller blocks until the first
+        teardown finishes, so "stopped" always means "WAL on disk".
+        """
+        with self._teardown_lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
+            self.request_stop()
+            with self._state_lock:
+                connections = list(self._connections.values())
+                handlers = list(self._handlers.values())
+            for conn in connections:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            current = threading.current_thread()
+            if self._accept_thread is not None \
+                    and self._accept_thread is not current:
+                self._accept_thread.join(timeout=10)
+            for thread in handlers:
+                if thread is not current:
+                    thread.join(timeout=10)
+            if self.store is not None:
+                self.store.close()  # checkpoints the WAL
+                self.store = None
+            if self._owns_socket:
+                # Only unlink a socket this daemon bound (never the
+                # one a refused start() probed), and only while still
+                # holding the lock -- no replacement can have bound it.
+                self._owns_socket = False
+                try:
+                    self.socket_path.unlink()
+                except OSError:
+                    pass
+            self._release_lock()
+            self.started = False
+
+    def __enter__(self) -> "VerdictService":
+        if not self.started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- serving ----------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by request_stop()/stop()
+            with self._state_lock:
+                if self._stop.is_set():
+                    conn.close()
+                    break
+                self._client_seq += 1
+                client_id = self._client_seq
+                self._connections[client_id] = conn
+                self._clients[client_id] = {
+                    "connected": True,
+                    "requests": 0,
+                    "hits": 0,
+                    "misses": 0,
+                    "writes": 0,
+                }
+                thread = threading.Thread(
+                    target=self._serve_client,
+                    args=(conn, client_id),
+                    name=f"verdict-client-{client_id}",
+                    daemon=True,
+                )
+                self._handlers[client_id] = thread
+            thread.start()
+
+    def _serve_client(self, conn: socket.socket, client_id: int) -> None:
+        # Per-client counters are only ever touched by this one handler
+        # thread; the stats op snapshots them under the state lock.
+        counters = self._clients[client_id]
+        conn.settimeout(None)
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = _recv_frame(conn)
+                except (OSError, ServiceError):
+                    # Dead peer or a non-protocol talker: drop it.  One
+                    # bad client never takes the daemon down.
+                    break
+                if request is None:
+                    break  # clean disconnect
+                counters["requests"] += 1
+                stopping = request.get("op") == "shutdown"
+                try:
+                    response = self._dispatch(request, counters)
+                except StoreError as error:
+                    response = {"ok": False, "error": str(error)}
+                except Exception as error:  # noqa: BLE001 - protocol boundary
+                    response = {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                try:
+                    _send_frame(conn, response)
+                except OSError:
+                    break
+                if stopping and response.get("ok"):
+                    # Ack first, then flag: the asker gets its answer,
+                    # the owner of wait()/stop() does the teardown.
+                    self.request_stop()
+                    break
+        finally:
+            counters["connected"] = False
+            with self._state_lock:
+                self._connections.pop(client_id, None)
+                # Dead Thread objects must not accrue on a long-lived
+                # daemon; the counters ledger is bounded separately.
+                self._handlers.pop(client_id, None)
+                self._retire_overflow()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _retire_overflow(self) -> None:
+        """Fold the oldest disconnected clients beyond the ledger cap
+        into the ``retired`` aggregate.  Called under the state lock."""
+        disconnected = [
+            client_id
+            for client_id, counters in self._clients.items()
+            if not counters["connected"]
+        ]
+        for client_id in disconnected[:max(
+            0, len(disconnected) - self.max_client_ledger
+        )]:
+            counters = self._clients.pop(client_id)
+            self._retired["clients"] += 1
+            for field in ("requests", "hits", "misses", "writes"):
+                self._retired[field] += counters[field]
+
+    def _dispatch(
+        self, request: Dict[str, Any], counters: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {
+                "ok": True,
+                "service": SERVICE_MAGIC,
+                "protocol": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "store": str(self.store_path),
+                "schema_version": SCHEMA_VERSION,
+            }
+        if op == "get_many":
+            keys = [_key_from_wire(row) for row in request.get("keys", ())]
+            # Store call and ledger update are one atomic step under
+            # the state lock, so a concurrent stats op can never see
+            # store counters ahead of the per-client accounting (the
+            # store's own lock already serializes the batches, so this
+            # costs no real concurrency).
+            with self._state_lock:
+                found = self.store.get_many(keys)
+                counters["hits"] += len(found)
+                counters["misses"] += len(keys) - len(found)
+            return {
+                "ok": True,
+                "found": [
+                    _wire_key(key) + [encode_verdict(value)]
+                    for key, value in found.items()
+                ],
+            }
+        if op == "put_many":
+            pairs = []
+            for row in request.get("rows", ()):
+                if not isinstance(row, (list, tuple)) or len(row) != 5:
+                    raise ServiceError(f"malformed verdict row {row!r}")
+                pairs.append((_key_from_wire(row[:4]),
+                              decode_verdict(row[4])))
+            with self._state_lock:
+                self.store.put_many(pairs)
+                counters["writes"] += len(pairs)
+            return {"ok": True, "written": len(pairs)}
+        if op == "stats":
+            return {"ok": True, **self.snapshot_stats()}
+        if op == "compact":
+            return {
+                "ok": True,
+                "compacted": self.store.compact(
+                    max_rows=request.get("max_rows"),
+                    max_age=request.get("max_age"),
+                    now=request.get("now"),
+                    vacuum=request.get("vacuum", True),
+                ),
+            }
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown protocol op {op!r}"}
+
+    def snapshot_stats(self) -> Dict[str, Any]:
+        """The ``stats`` op's payload: rows, store counters, clients."""
+        # One state-lock scope for the whole snapshot: per-client rows,
+        # the retired aggregate and the store counters are mutated
+        # together in _dispatch, so reading them together is what keeps
+        # "per-client + retired == store writes" true even mid-batch.
+        with self._state_lock:
+            per_client = {
+                str(client_id): dict(counters)
+                for client_id, counters in self._clients.items()
+            }
+            retired = dict(self._retired)
+            stats = self.store.stats
+            store_stats = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "writes": stats.writes,
+                "skipped_writes": stats.skipped_writes,
+            }
+            row_stats = self.store.row_stats()
+        return {
+            "service": SERVICE_MAGIC,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "socket": str(self.socket_path),
+            "row_stats": row_stats,
+            "store_stats": store_stats,
+            "clients": {
+                "total": len(per_client) + retired["clients"],
+                "active": sum(
+                    1 for c in per_client.values() if c["connected"]
+                ),
+                "per_client": per_client,
+                "retired": retired,
+            },
+        }

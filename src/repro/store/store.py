@@ -77,6 +77,11 @@ SCHEMA_VERSION = 2
 #: How long one connection waits on a writer lock before giving up.
 BUSY_TIMEOUT_SECONDS = 30.0
 
+#: URL scheme of the verdict service (:mod:`repro.store.service`).
+#: :func:`resolve_store` dispatches ``repro+unix:///path/to.sock``
+#: targets to a socket client instead of opening an SQLite file.
+SERVICE_URL_PREFIX = "repro+unix://"
+
 #: Read hits only rewrite ``last_used`` when the stored stamp is at
 #: least this stale.  Compaction ages are hours-to-days, so minute
 #: granularity loses nothing while keeping hot read paths free of
@@ -220,12 +225,35 @@ class FaultDictionaryStore:
             return self._connect_and_check()
 
     def _connect_and_check(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(
-            str(self.path),
-            timeout=self.timeout,
-            isolation_level=None,  # autocommit; explicit BEGIN in batches
-            check_same_thread=False,
-        )
+        if self.readonly:
+            # A readonly open must never create the file: the exists()
+            # pre-check in _open is a TOCTOU (the path can vanish
+            # between check and connect, and a plain connect would
+            # leave a fresh empty database behind).  URI mode=ro makes
+            # SQLite itself refuse creation and writes, so PRAGMA
+            # query_only below is defence in depth, not the only guard.
+            from urllib.parse import quote
+
+            try:
+                conn = sqlite3.connect(
+                    f"file:{quote(str(self.path), safe='/')}?mode=ro",
+                    uri=True,
+                    timeout=self.timeout,
+                    isolation_level=None,
+                    check_same_thread=False,
+                )
+            except sqlite3.OperationalError as error:
+                raise StoreError(
+                    f"readonly store {self.path} cannot be opened:"
+                    f" {error}"
+                ) from error
+        else:
+            conn = sqlite3.connect(
+                str(self.path),
+                timeout=self.timeout,
+                isolation_level=None,  # autocommit; explicit BEGIN in batches
+                check_same_thread=False,
+            )
         try:
             conn.execute(
                 f"PRAGMA busy_timeout = {int(self.timeout * 1000)}"
@@ -736,12 +764,26 @@ class FaultDictionaryStore:
 
 
 def resolve_store(
-    store: "Union[str, Path, FaultDictionaryStore, None]",
+    store: "Union[str, Path, FaultDictionaryStore, Any, None]",
     readonly: bool = False,
-) -> Optional[FaultDictionaryStore]:
-    """Turn a store path (or ready instance, or ``None``) into a store."""
+) -> Optional[Any]:
+    """Turn a store reference into a ready verdict store.
+
+    Accepts ``None`` (no store); a ready store object -- a
+    :class:`FaultDictionaryStore` or a service client -- returned
+    as-is; a ``repro+unix://`` verdict-service URL, dispatched to
+    :class:`repro.store.service.ServiceStore` (no SQLite file is
+    opened client-side); or a filesystem path, opened directly.
+    """
     if store is None:
         return None
-    if isinstance(store, FaultDictionaryStore):
-        return store
-    return FaultDictionaryStore(store, readonly=readonly)
+    if isinstance(store, (str, Path)):
+        text = str(store)
+        if text.startswith(SERVICE_URL_PREFIX):
+            from .service import ServiceStore
+
+            return ServiceStore(text, readonly=readonly)
+        return FaultDictionaryStore(store, readonly=readonly)
+    # A ready store-like instance (FaultDictionaryStore, ServiceStore,
+    # or a user-provided tier): the caller owns its lifecycle.
+    return store

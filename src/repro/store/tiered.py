@@ -21,11 +21,17 @@ Stat hygiene: ``stats`` (the LRU counters) and ``store_stats`` are
 separate, and :meth:`clear` resets both while leaving the on-disk rows
 alone -- dropping the persistent dictionary is an operator action
 (delete the file), not a cache-management side effect.
+
+The second tier is duck-typed: anything with the
+:class:`FaultDictionaryStore` lookup/write surface slots in, so the
+same composition serves a direct SQLite file *and* a
+:class:`~repro.store.service.ServiceStore` talking to a verdict-service
+daemon over a socket -- the kernel cannot tell the difference.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Sequence, Tuple, Union
 
 from .store import FaultDictionaryStore, StoreStats
 
@@ -44,7 +50,7 @@ class TieredCache:
     def __init__(
         self,
         memory: "FaultDictionaryCache",
-        store: FaultDictionaryStore,
+        store: "Union[FaultDictionaryStore, Any]",
     ) -> None:
         self.memory = memory
         self.store = store

@@ -262,6 +262,44 @@ class TestFanOut:
         with pytest.raises(CampaignSpecError, match="jobs"):
             run_campaign(spec, jobs=0)
 
+    def test_hard_worker_death_still_yields_a_manifest(self, monkeypatch):
+        """A SIGKILLed worker (OOM killer, segfault) breaks the whole
+        pool: every live future fails with BrokenProcessPool.  The
+        campaign must record every unfinished job as failed and still
+        return the manifest -- losing it would cost the record of every
+        job that *did* complete."""
+        import os
+        import signal
+
+        from repro.store import campaign as campaign_module
+
+        real = campaign_module._simulate_job
+
+        def killer(request):
+            if request.test_text == "MarchY":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(request)
+
+        # Fork-context workers inherit the patched module, so the kill
+        # happens inside a real pool worker, not the test process.
+        monkeypatch.setattr(campaign_module, "_simulate_job", killer)
+        spec = CampaignSpec.from_dict(dict(
+            SPEC, tests=["MATS", "MarchY", "MSCAN", "MarchX"],
+        ))
+        manifest = run_campaign(spec, jobs=2)
+        assert manifest["totals"]["jobs"] == 4
+        assert manifest["totals"]["failed"] >= 1
+        by_test = {job["test"]: job for job in manifest["jobs"]}
+        assert by_test["MarchY"]["error"] is not None
+        assert "BrokenProcessPool" in by_test["MarchY"]["error"]
+        # No job row is silently dropped: each either carries its
+        # result or an error, and the totals reconcile.
+        for job in manifest["jobs"]:
+            assert (job["error"] is None) == (job["fault_cases"] is not None)
+        assert manifest["totals"]["failed"] + manifest["totals"]["results"] \
+            == manifest["totals"]["jobs"]
+        assert "FAILED" in summarize(manifest)
+
 
 class TestSharding:
     SWEEP = dict(SPEC, backends=["bitparallel", "serial"])

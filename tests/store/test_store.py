@@ -149,6 +149,36 @@ class TestReadonly:
         with pytest.raises(StoreError, match="does not exist"):
             FaultDictionaryStore(store_path, readonly=True)
 
+    def test_vanished_file_is_not_created_by_readonly_open(
+        self, store_path, monkeypatch
+    ):
+        # The exists() pre-check is a TOCTOU: the path can vanish
+        # between the check and the connect, and a plain connect would
+        # leave a fresh empty database behind.  Model the race by
+        # making the pre-check lie; the URI mode=ro open must then
+        # refuse instead of creating the file.
+        from repro.store import store as store_module
+
+        monkeypatch.setattr(
+            store_module.Path, "exists", lambda self: True
+        )
+        with pytest.raises(StoreError, match="cannot be opened"):
+            FaultDictionaryStore(store_path, readonly=True)
+        monkeypatch.undo()
+        assert not store_path.exists(), (
+            "a readonly open must never create the store file"
+        )
+
+    def test_readonly_is_enforced_by_sqlite_itself(self, store_path):
+        # PRAGMA query_only is defence in depth; the mode=ro URI makes
+        # SQLite refuse writes even if a future code path forgot the
+        # readonly flag and issued raw SQL.
+        with FaultDictionaryStore(store_path) as store:
+            store.put(key(), True)
+        with FaultDictionaryStore(store_path, readonly=True) as store:
+            with pytest.raises(sqlite3.OperationalError, match="readonly"):
+                store._conn.execute("DELETE FROM verdicts")
+
 
 # -- schema versioning ---------------------------------------------------------
 
