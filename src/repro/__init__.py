@@ -30,7 +30,7 @@ from .march.catalog import CATALOG, by_name
 from .march.test import MarchTest, march, parse_march
 from .simulator.faultsim import simulate_fault_list
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GeneratorConfig",

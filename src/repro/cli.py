@@ -460,7 +460,9 @@ def build_parser() -> argparse.ArgumentParser:
         command_parser.add_argument(
             "--backend", choices=sorted(BACKENDS), default=DEFAULT_BACKEND,
             help="simulation kernel execution backend"
-                 f" (default: {DEFAULT_BACKEND})",
+                 f" (default: {DEFAULT_BACKEND}; bitparallel-np needs"
+                 " the NumPy [fast] extra and degrades to bitparallel"
+                 " with a warning without it)",
         )
         command_parser.add_argument(
             "--sim-stats", action="store_true",

@@ -57,12 +57,17 @@ class GeneratorConfig:
         Execution backend of the simulation kernel: ``"bitparallel"``
         (default -- word-packed simulation: every standard fault
         instance advances in one machine word per march operation,
-        with scalar fallback for unknown user types), ``"serial"``
+        with scalar fallback for unknown user types),
+        ``"bitparallel-np"`` (the same lanes tiled onto fixed-width
+        uint64 NumPy arrays -- constant vectorized cost per 64-lane
+        word; requires the ``[fast]`` extra and degrades to
+        ``bitparallel`` with a warning without it), ``"serial"``
         (scalar in-process evaluation) or ``"process"``
         (multiprocessing over fault-case chunks).  The default flipped
         from ``serial`` after profiling the generator's verify-size-2
         single-probe path: bitparallel is ~1.25x faster end-to-end on
-        the Table 3 rows and never slower.  See
+        the Table 3 rows and never slower.  Unknown names raise
+        ``ValueError`` at construction time.  See
         :mod:`repro.kernel.backends` and the README section "Choosing
         a backend".
     sim_cache_size:
@@ -95,3 +100,10 @@ class GeneratorConfig:
     sim_cache_size: int = 1_000_000
     store_path: Optional[str] = None
     store_readonly: bool = False
+
+    def __post_init__(self) -> None:
+        # Imported lazily: core must stay importable without pulling
+        # the kernel package in at module-import time.
+        from ..kernel.backends import validate_backend_name
+
+        validate_backend_name(self.backend)

@@ -7,11 +7,15 @@ repository README for the cache-key and backend-extension guides.
 from .backends import (
     BACKENDS,
     BitParallelBackend,
+    BitParallelNumpyBackend,
     DetectTask,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
+    available_backends,
+    backend_choices_text,
     resolve_backend,
+    validate_backend_name,
     worst_case_detects,
 )
 from .cache import FaultDictionaryCache, KernelStats, SimKey
@@ -29,6 +33,7 @@ from .report import EmptyFaultListWarning, SimulationReport
 __all__ = [
     "BACKENDS",
     "BitParallelBackend",
+    "BitParallelNumpyBackend",
     "DEFAULT_SIZE",
     "DetectTask",
     "EmptyFaultListWarning",
@@ -41,10 +46,13 @@ __all__ = [
     "SimKey",
     "SimulationKernel",
     "SimulationReport",
+    "available_backends",
+    "backend_choices_text",
     "canonical_signature",
     "concrete_realization",
     "get_default_kernel",
     "resolve_backend",
     "set_default_kernel",
+    "validate_backend_name",
     "worst_case_detects",
 ]

@@ -38,6 +38,13 @@ from ..faults.instances import FaultCase
 from ..march.test import MarchTest
 from ..simulator.bitengine import PackedSimulation, lane_packable_case
 from ..simulator.engine import run_march
+from ..simulator.tilengine import (
+    NumpyUnavailableError,
+    TiledSimulation,
+    chunk_cases,
+    numpy_available,
+    require_numpy,
+)
 from .pool import MemoryPool
 
 
@@ -296,11 +303,203 @@ class BitParallelBackend(ExecutionBackend):
         return results  # type: ignore[return-value]
 
 
+# -- NumPy lane-tiled backend --------------------------------------------------
+#
+# Same fork-slot pattern as ProcessBackend: chunk simulations are built
+# in the parent (so the one-time lane-plan compilation is shared) and
+# inherited by fork()ed workers, which return plain verdict lists.
+
+_TILE_FORK: Tuple = ()
+_TILE_LOCK = threading.Lock()
+
+
+def _tile_worker(index: int) -> List[bool]:
+    simulations, test = _TILE_FORK
+    return simulations[index].worst_case_verdicts(test)
+
+
+class BitParallelNumpyBackend(ExecutionBackend):
+    """Lane-tiled evaluation on fixed-width uint64 NumPy tiles.
+
+    Routing is identical to :class:`BitParallelBackend` -- packable
+    cases ride the packed path, the rest fall back to the scalar serial
+    backend -- but the packed path runs on
+    :class:`~repro.simulator.tilengine.TiledSimulation`: per-op cost is
+    a constant number of vectorized kernels over ``ceil(lanes/64)``
+    uint64 words instead of interpreter-level bignum arithmetic, which
+    is what makes the size-64/size-256 fault populations tractable.
+
+    Above :data:`MIN_FANOUT_LANES` total lanes the case set is split
+    into one contiguous tile range per worker process and composed with
+    the process backend's fork-slot pattern; each worker owns its chunk
+    simulation (own fault-free reference lane) and the concatenated
+    verdict lists are byte-identical to the single-simulation run.
+    Requires NumPy (the ``[fast]`` extra): construction raises
+    :class:`~repro.simulator.tilengine.NumpyUnavailableError` without
+    it, and :func:`resolve_backend` degrades to ``bitparallel`` with a
+    one-line warning.
+    """
+
+    name = "bitparallel-np"
+
+    #: Bound of the tiled-plan cache (LRU beyond it).
+    PLAN_CACHE_SIZE = 128
+
+    #: Below this many total lanes one process wins: fork + IPC costs
+    #: more than the whole vectorized run.
+    MIN_FANOUT_LANES = 4096
+
+    def __init__(
+        self,
+        pool: Optional[MemoryPool] = None,
+        processes: Optional[int] = None,
+    ) -> None:
+        require_numpy(f"the {self.name!r} execution backend")
+        super().__init__()
+        self.processes = processes or os.cpu_count() or 1
+        self._serial = SerialBackend(pool)
+        self._simulations: "OrderedDict[Tuple, List[TiledSimulation]]" = (
+            OrderedDict()
+        )
+        self._packable: Dict[str, bool] = {}
+
+    def _is_packable(self, case: FaultCase) -> bool:
+        verdict = self._packable.get(case.name)
+        if verdict is None:
+            verdict = lane_packable_case(case)
+            self._packable[case.name] = verdict
+        return verdict
+
+    def _fanout(self, cases: Sequence[FaultCase]) -> int:
+        """How many chunk simulations to build for this case set."""
+        if self.processes < 2:
+            return 1
+        lanes = 1 + sum(len(case.variants) for case in cases)
+        if lanes < self.MIN_FANOUT_LANES:
+            return 1
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:
+            return 1
+        return self.processes
+
+    def _simulation(
+        self, cases: Sequence[FaultCase], size: int
+    ) -> List[TiledSimulation]:
+        key = (tuple(case.name for case in cases), size)
+        simulations = self._simulations.get(key)
+        if simulations is None:
+            simulations = [
+                TiledSimulation(chunk, size)
+                for chunk in chunk_cases(cases, self._fanout(cases))
+            ]
+            self._simulations[key] = simulations
+            while len(self._simulations) > self.PLAN_CACHE_SIZE:
+                self._simulations.popitem(last=False)
+        else:
+            self._simulations.move_to_end(key)
+        return simulations
+
+    def _verdicts(
+        self, simulations: List[TiledSimulation], test: MarchTest
+    ) -> Tuple[List[bool], str]:
+        if len(simulations) == 1:
+            return simulations[0].worst_case_verdicts(test), self.name
+        global _TILE_FORK
+        context = multiprocessing.get_context("fork")
+        with _TILE_LOCK:
+            _TILE_FORK = (simulations, test)
+            try:
+                with context.Pool(len(simulations)) as workers:
+                    chunks = workers.map(
+                        _tile_worker, range(len(simulations))
+                    )
+            finally:
+                _TILE_FORK = ()
+        verdicts: List[bool] = []
+        for chunk in chunks:
+            verdicts.extend(chunk)
+        return verdicts, f"{self.name}-fork"
+
+    def detect_batch(self, tasks: Sequence[DetectTask]) -> List[bool]:
+        results: List[Optional[bool]] = [None] * len(tasks)
+        packed_groups: "OrderedDict[Tuple[MarchTest, int], List[int]]" = (
+            OrderedDict()
+        )
+        fallback_indices: List[int] = []
+        for index, task in enumerate(tasks):
+            if self._is_packable(task.case):
+                packed_groups.setdefault((task.test, task.size), []).append(
+                    index
+                )
+            else:
+                fallback_indices.append(index)
+        for (test, size), indices in packed_groups.items():
+            cases = [tasks[i].case for i in indices]
+            verdicts, strategy = self._verdicts(
+                self._simulation(cases, size), test
+            )
+            self.count_served(strategy, len(indices))
+            for i, verdict in zip(indices, verdicts):
+                results[i] = verdict
+        if fallback_indices:
+            self.count_served("serial", len(fallback_indices))
+            fallback = self._serial.detect_batch(
+                [tasks[i] for i in fallback_indices]
+            )
+            for i, verdict in zip(fallback_indices, fallback):
+                results[i] = verdict
+        return results  # type: ignore[return-value]
+
+
 BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ProcessBackend.name: ProcessBackend,
     BitParallelBackend.name: BitParallelBackend,
+    BitParallelNumpyBackend.name: BitParallelNumpyBackend,
 }
+
+
+def available_backends() -> Dict[str, bool]:
+    """Backend name -> whether it can be constructed right now.
+
+    Only ``bitparallel-np`` has an environment prerequisite (NumPy, the
+    ``[fast]`` extra); every other registered backend is always
+    available.
+    """
+    return {
+        name: name != BitParallelNumpyBackend.name or numpy_available()
+        for name in BACKENDS
+    }
+
+
+def backend_choices_text() -> str:
+    """The valid ``--backend`` choices with availability annotations."""
+    parts = []
+    for name, available in sorted(available_backends().items()):
+        parts.append(
+            name if available
+            else f"{name} (unavailable: NumPy is not installed)"
+        )
+    return ", ".join(parts)
+
+
+def validate_backend_name(backend: str) -> str:
+    """Fail fast on an unknown backend name with the full choice list.
+
+    Called by ``GeneratorConfig``, the CLI and campaign-spec parsing so
+    a typo'd backend surfaces as one clear error at configuration time
+    instead of deep inside kernel construction.  An *available* name is
+    returned unchanged; ``bitparallel-np`` without NumPy is still a
+    valid name (the kernel degrades to ``bitparallel`` with a warning
+    when it is actually resolved).
+    """
+    if backend in BACKENDS:
+        return backend
+    raise ValueError(
+        f"unknown simulation backend {backend!r};"
+        f" valid choices: {backend_choices_text()}"
+    )
 
 
 def resolve_backend(
@@ -311,20 +510,25 @@ def resolve_backend(
 
     The kernel's memory pool is shared with backends that accept one,
     so serial evaluation and cache-miss fills recycle the same arrays.
+    Requesting ``bitparallel-np`` without NumPy installed degrades to
+    the pure-Python ``bitparallel`` engine with a one-line warning --
+    same results, just without the vectorized tiles.
     """
     if backend is None:
         return SerialBackend(pool)
     if isinstance(backend, ExecutionBackend):
         return backend
-    try:
-        factory = BACKENDS[backend]
-    except KeyError:
-        raise ValueError(
-            f"unknown simulation backend {backend!r};"
-            f" known: {sorted(BACKENDS)}"
-        ) from None
+    factory = BACKENDS.get(validate_backend_name(backend))
     # Pass the shared pool only to factories that declare it: probing
     # with try/except TypeError would swallow genuine constructor
     # errors and run side effects twice.
     accepts_pool = "pool" in inspect.signature(factory).parameters
-    return factory(pool=pool) if accepts_pool else factory()
+    try:
+        return factory(pool=pool) if accepts_pool else factory()
+    except NumpyUnavailableError as error:
+        warnings.warn(
+            f"{error}; falling back to the pure-Python"
+            f" {BitParallelBackend.name!r} backend",
+            RuntimeWarning,
+        )
+        return BitParallelBackend(pool)

@@ -78,7 +78,7 @@ from typing import (
 
 from ..faults.faultlist import FaultList
 from ..faults.library import MODEL_REGISTRY
-from ..kernel import BACKENDS, SimulationKernel
+from ..kernel import SimulationKernel, validate_backend_name
 from ..march.catalog import by_name
 from ..march.test import MarchTest, parse_march
 from .service import ServiceStore, is_service_url
@@ -154,10 +154,10 @@ class CampaignSpec:
             raise CampaignSpecError("'sizes' must be positive integers")
         backends = tuple(data.get("backends", ("bitparallel",)))
         for backend in backends:
-            if backend not in BACKENDS:
-                raise CampaignSpecError(
-                    f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
-                )
+            try:
+                validate_backend_name(backend)
+            except ValueError as error:
+                raise CampaignSpecError(str(error)) from None
         store = data.get("store")
         return cls(
             name=str(data.get("name", "campaign")),

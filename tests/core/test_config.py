@@ -1,0 +1,37 @@
+"""GeneratorConfig validation: unknown backends fail fast."""
+
+import pytest
+
+from repro.core.config import GeneratorConfig
+from repro.kernel import BACKENDS
+
+
+def test_default_config_valid():
+    assert GeneratorConfig().backend == "bitparallel"
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_every_registered_backend_name_accepted(name):
+    # Name validity is independent of environment: 'bitparallel-np'
+    # without NumPy is a valid *name* that degrades at resolve time.
+    assert GeneratorConfig(backend=name).backend == name
+
+
+def test_unknown_backend_rejected_at_construction():
+    with pytest.raises(ValueError) as excinfo:
+        GeneratorConfig(backend="bitparalel")  # typo
+    message = str(excinfo.value)
+    assert "bitparalel" in message
+    # The error lists every valid choice, so the fix is self-evident.
+    for name in BACKENDS:
+        assert name in message
+
+
+def test_campaign_spec_shares_the_validation():
+    from repro.store.campaign import CampaignSpec, CampaignSpecError
+
+    with pytest.raises(CampaignSpecError) as excinfo:
+        CampaignSpec.from_dict(
+            {"tests": ["MATS"], "faults": ["SAF"], "backends": ["bogus"]}
+        )
+    assert "valid choices" in str(excinfo.value)

@@ -1,0 +1,183 @@
+"""Lane-tiled (NumPy) engine properties.
+
+The tiled engine's contract is byte-identity with the bignum engine
+(and hence, transitively, with the scalar engine) for every packable
+case set.  The suite here adds what the kernel-level equivalence tests
+cannot: exact control over the *lane count*, so the partial-tile
+masking of the last uint64 word is exercised at every boundary shape
+(1, 63, 64, 65, 127, 129, ... lanes), plus the compact (gather/
+scatter) layout and the fork-composed chunking.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.faults.faultlist import FaultList
+from repro.faults.library import MODEL_REGISTRY
+from repro.march.catalog import MARCH_C_MINUS, MATS, MATS_PLUS_PLUS
+from repro.simulator.bitengine import PackedSimulation, partition_cases
+from repro.simulator.tilengine import (
+    WORD_BITS,
+    TiledSimulation,
+    chunk_cases,
+    numpy_available,
+    tiled_detects,
+)
+
+TESTS = [MATS, MATS_PLUS_PLUS, MARCH_C_MINUS]
+
+#: Total lane counts (reference lane included) around the word
+#: boundaries: a sub-word tile, full single tile, one-bit spill into a
+#: second tile, two full tiles, and a spill into a third.
+BOUNDARY_LANES = [2, 63, 64, 65, 127, 128, 129]
+
+
+@pytest.fixture(scope="module")
+def packable_pool():
+    """Every packable standard case at size 4, shuffled deterministically."""
+    cases = FaultList.from_names(*MODEL_REGISTRY).instances(4)
+    packable, _ = partition_cases(cases)
+    rng = random.Random(0xC0FFEE)
+    rng.shuffle(packable)
+    return packable
+
+
+def _take_lanes(pool, total_fault_lanes):
+    """A case subset with exactly ``total_fault_lanes`` variant lanes."""
+    chosen, lanes = [], 0
+    for case in pool:
+        width = len(case.variants)
+        if lanes + width <= total_fault_lanes:
+            chosen.append(case)
+            lanes += width
+            if lanes == total_fault_lanes:
+                return chosen
+    raise AssertionError(
+        f"pool cannot realize {total_fault_lanes} lanes exactly"
+    )
+
+
+def test_numpy_available_here():
+    assert numpy_available()
+
+
+@pytest.mark.parametrize("total", BOUNDARY_LANES)
+def test_boundary_lane_counts_match_bignum(total, packable_pool):
+    """Partial-tile masking at every word-boundary lane count."""
+    cases = _take_lanes(packable_pool, total - 1)
+    tiled = TiledSimulation(cases, 4)
+    packed = PackedSimulation(cases, 4)
+    assert tiled.lanes == total
+    assert tiled.tiles == max(1, -(-total // WORD_BITS))
+    for test in TESTS:
+        assert tiled.worst_case_verdicts(test) == \
+            packed.worst_case_verdicts(test), test.name
+
+
+@pytest.mark.parametrize("total", BOUNDARY_LANES)
+def test_boundary_full_mask_shape(total, packable_pool):
+    cases = _take_lanes(packable_pool, total - 1)
+    tiled = TiledSimulation(cases, 4)
+    spill = total % WORD_BITS
+    if spill:
+        assert int(tiled.full[-1]) == (1 << spill) - 1
+    else:
+        assert int(tiled.full[-1]) == (1 << WORD_BITS) - 1
+    assert all(
+        int(word) == (1 << WORD_BITS) - 1 for word in tiled.full[:-1]
+    )
+
+
+def test_fuzzed_random_subsets_match_bignum(packable_pool):
+    rng = random.Random(2002)
+    for _ in range(12):
+        cases = rng.sample(packable_pool, rng.randrange(1, 40))
+        tiled = TiledSimulation(cases, 4)
+        packed = PackedSimulation(cases, 4)
+        test = rng.choice(TESTS)
+        assert tiled.worst_case_verdicts(test) == \
+            packed.worst_case_verdicts(test)
+
+
+def test_compact_layout_matches_dense(packable_pool):
+    """Force the gather/scatter layout on a workload the dense layout
+    would normally serve, and require identical verdicts."""
+    cases = packable_pool[:60]
+    dense = TiledSimulation(cases, 4)
+    compact = TiledSimulation(cases, 4, dense_limit=0)
+    assert dense._dense and not compact._dense
+    for test in TESTS:
+        assert compact.worst_case_verdicts(test) == \
+            dense.worst_case_verdicts(test), test.name
+
+
+def test_tiled_detects_one_shot(packable_pool):
+    cases = packable_pool[:10]
+    assert tiled_detects(MATS_PLUS_PLUS, cases, 4) == \
+        PackedSimulation(cases, 4).worst_case_verdicts(MATS_PLUS_PLUS)
+
+
+def test_delay_elements_match_bignum():
+    from repro.march.test import parse_march
+
+    test = parse_march("{up(w0); Del; up(r0,w1); Del; down(r1,w0)}")
+    cases = FaultList.from_names("DRF", "SAF", "TF").instances(4)
+    assert TiledSimulation(cases, 4).worst_case_verdicts(test) == \
+        PackedSimulation(cases, 4).worst_case_verdicts(test)
+
+
+def test_sof_latch_matches_bignum():
+    cases = FaultList.from_names("SOF", "SAF").instances(5)
+    tiled = TiledSimulation(cases, 5)
+    packed = PackedSimulation(cases, 5)
+    for test in TESTS:
+        assert tiled.worst_case_verdicts(test) == \
+            packed.worst_case_verdicts(test), test.name
+
+
+def test_chunk_cases_partitions_in_order(packable_pool):
+    cases = packable_pool[:23]
+    chunks = chunk_cases(cases, 4)
+    assert len(chunks) == 4
+    flattened = [case for chunk in chunks for case in chunk]
+    assert flattened == list(cases)
+    assert all(chunk for chunk in chunks)
+    # Degenerate shapes.
+    assert chunk_cases(cases, 1) == [list(cases)]
+    assert len(chunk_cases(cases[:2], 16)) == 2
+
+
+def test_chunked_verdicts_concatenate_to_whole(packable_pool):
+    cases = packable_pool[:40]
+    whole = TiledSimulation(cases, 4)
+    for test in TESTS:
+        expected = whole.worst_case_verdicts(test)
+        split = []
+        for chunk in chunk_cases(cases, 3):
+            split.extend(TiledSimulation(chunk, 4).worst_case_verdicts(test))
+        assert split == expected, test.name
+
+
+def test_fork_composition_matches_single_simulation(packable_pool):
+    """The backend's fork fan-out must be byte-identical to one tile."""
+    import multiprocessing
+
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        pytest.skip("fork start method unavailable")
+    from repro.kernel import SimulationKernel
+    from repro.kernel.backends import BitParallelNumpyBackend
+
+    lib = FaultList.from_names("SAF", "TF", "CFIN")
+    serial = SimulationKernel(backend="serial").detection_matrix(
+        TESTS, lib, 4
+    )
+    backend = BitParallelNumpyBackend(processes=2)
+    backend.MIN_FANOUT_LANES = 8  # force fan-out on a small workload
+    kernel = SimulationKernel(backend=backend)
+    assert kernel.detection_matrix(TESTS, lib, 4) == serial
+    assert backend.served.get("bitparallel-np-fork", 0) > 0

@@ -1,0 +1,127 @@
+"""No-NumPy behaviour of the lane-tiled backend.
+
+These tests must pass with *and without* NumPy installed: the missing
+dependency is simulated by clearing the module's import slot (and, for
+the subprocess test, by genuinely blocking the import), so the suite
+asserts the degradation contract everywhere:
+
+* importing :mod:`repro.simulator.tilengine` always succeeds;
+* constructing the engine/backend raises a clear, actionable error;
+* resolving the ``bitparallel-np`` backend warns once and degrades to
+  the pure-Python ``bitparallel`` engine with identical results.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro.simulator.tilengine as tilengine
+from repro.kernel import SimulationKernel
+from repro.kernel.backends import (
+    BitParallelBackend,
+    BitParallelNumpyBackend,
+    available_backends,
+    resolve_backend,
+)
+from repro.march.catalog import MATS_PLUS_PLUS
+
+
+@pytest.fixture
+def without_numpy(monkeypatch):
+    monkeypatch.setattr(tilengine, "_np", None)
+
+
+def test_require_numpy_error_is_actionable(without_numpy):
+    with pytest.raises(tilengine.NumpyUnavailableError) as excinfo:
+        tilengine.require_numpy()
+    message = str(excinfo.value)
+    assert "NumPy" in message
+    assert "[fast]" in message or "numpy>=1.24" in message
+    assert "bitparallel" in message
+    # It is an ImportError subclass, so generic handlers catch it.
+    assert isinstance(excinfo.value, ImportError)
+
+
+def test_helpers_report_unavailability(without_numpy):
+    assert not tilengine.numpy_available()
+    assert tilengine.numpy_version() is None
+    assert available_backends()["bitparallel-np"] is False
+
+
+def test_simulation_construction_raises(without_numpy, saf_list):
+    with pytest.raises(tilengine.NumpyUnavailableError):
+        tilengine.TiledSimulation(saf_list.instances(3), 3)
+
+
+def test_backend_construction_raises(without_numpy):
+    with pytest.raises(tilengine.NumpyUnavailableError) as excinfo:
+        BitParallelNumpyBackend()
+    assert "bitparallel-np" in str(excinfo.value)
+
+
+def test_resolve_degrades_with_one_warning(without_numpy):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        backend = resolve_backend("bitparallel-np")
+    assert isinstance(backend, BitParallelBackend)
+    degradations = [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+    ]
+    assert len(degradations) == 1
+    assert "falling back" in str(degradations[0].message)
+
+
+def test_degraded_kernel_matches_serial(without_numpy, saf_tf_list):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        kernel = SimulationKernel(backend="bitparallel-np")
+    degraded = kernel.detection_matrix([MATS_PLUS_PLUS], saf_tf_list, 3)
+    serial = SimulationKernel(backend="serial").detection_matrix(
+        [MATS_PLUS_PLUS], saf_tf_list, 3
+    )
+    assert degraded == serial
+    assert kernel.backend.served.get("bitparallel", 0) > 0
+
+
+def test_unknown_backend_error_marks_numpy_availability(without_numpy):
+    with pytest.raises(ValueError) as excinfo:
+        resolve_backend("bogus")
+    message = str(excinfo.value)
+    assert "bitparallel-np (unavailable: NumPy is not installed)" in message
+
+
+def test_import_blocked_subprocess_degrades():
+    """Genuine import blocking (not monkeypatching): a child process
+    with ``numpy`` masked must still produce verdicts via fallback."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    script = (
+        "import sys, warnings\n"
+        "sys.modules['numpy'] = None\n"  # force ImportError on import
+        "import repro.simulator.tilengine as til\n"
+        "assert til._np is None and not til.numpy_available()\n"
+        "from repro.kernel import SimulationKernel\n"
+        "from repro.faults.faultlist import FaultList\n"
+        "from repro.march.catalog import MATS\n"
+        "with warnings.catch_warnings(record=True) as caught:\n"
+        "    warnings.simplefilter('always')\n"
+        "    kernel = SimulationKernel(backend='bitparallel-np')\n"
+        "assert any('falling back' in str(w.message) for w in caught)\n"
+        "faults = FaultList.from_names('SAF')\n"
+        "matrix = kernel.detection_matrix([MATS], faults, 3)\n"
+        "reference = SimulationKernel().detection_matrix([MATS], faults, 3)\n"
+        "assert matrix == reference\n"
+        "print('DEGRADED-OK')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(src)},
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "DEGRADED-OK" in result.stdout

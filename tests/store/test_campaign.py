@@ -56,7 +56,11 @@ class TestSpec:
             CampaignSpec.from_dict(dict(SPEC, faults=["NOPE"]))
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(CampaignSpecError, match="unknown backend"):
+        # Campaign specs share the kernel's validate_backend_name, so
+        # the message (and its valid-choices list) is the unified one.
+        with pytest.raises(
+            CampaignSpecError, match="unknown simulation backend"
+        ):
             CampaignSpec.from_dict(dict(SPEC, backends=["gpu"]))
 
     def test_bad_sizes_rejected(self):
