@@ -209,6 +209,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             "ok" if record["error"] is None
             else f"FAILED: {record['error']}"
         )
+        if record.get("degraded"):
+            status += " (degraded to spill)"
         timing = (
             f" {record['seconds'] * 1e3:8.1f} ms"
             if record["seconds"] is not None else ""
@@ -223,14 +225,36 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         except BrokenPipeError:
             pipe_gone = True
 
-    manifest = run_campaign(
-        spec,
-        store_path=args.store,
-        store_readonly=args.store_readonly,
-        jobs=args.jobs,
-        shard=args.shard,
-        progress=live_progress,
-    )
+    retry = None
+    if args.retry_attempts is not None or args.retry_base_delay is not None:
+        from .store.resilience import RetryPolicy
+
+        knobs = {}
+        if args.retry_attempts is not None:
+            knobs["max_attempts"] = args.retry_attempts
+        if args.retry_base_delay is not None:
+            knobs["base_delay"] = args.retry_base_delay
+        retry = RetryPolicy(**knobs)
+
+    from .store.service import ServiceUnavailableError
+
+    try:
+        manifest = run_campaign(
+            spec,
+            store_path=args.store,
+            store_readonly=args.store_readonly,
+            jobs=args.jobs,
+            shard=args.shard,
+            progress=live_progress,
+            retry=retry,
+            degrade=not args.no_degrade,
+        )
+    except ServiceUnavailableError as error:
+        # The up-front daemon probe failed: with no store to run
+        # against there is nothing to degrade to -- one diagnostic,
+        # not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     # Persist the artifact before printing: a consumer cutting the
     # pipe short (| head) must not cost the manifest.
     path = write_manifest(manifest, args.manifest)
@@ -249,7 +273,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .store.service import VerdictService
 
-    service = VerdictService(args.store, args.socket)
+    service = VerdictService(
+        args.store,
+        args.socket,
+        idle_timeout=args.idle_timeout,
+        checkpoint_interval=args.checkpoint_interval,
+    )
     service.start()
 
     def on_signal(signum: int, frame: object) -> None:
@@ -298,6 +327,38 @@ def cmd_store(args: argparse.Namespace) -> int:
             f"give either a store PATH or --socket, not both"
             f" (got {args.path} and --socket {args.socket})"
         )
+
+    if args.store_command == "ping":
+        from .store.resilience import RetryPolicy
+        from .store.service import ServiceStore
+
+        # One probe, no backoff: ping answers "is it up *right now*",
+        # and scripts polling in a loop supply their own cadence.
+        client = ServiceStore(
+            args.socket,
+            timeout=args.timeout,
+            retry=RetryPolicy.no_retry(),
+        )
+        try:
+            payload = client.ping()
+        except StoreError as error:
+            if args.json:
+                print(json_module.dumps(
+                    {"ok": False, "error": str(error)},
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(f"no verdict service on {args.socket}: {error}",
+                      file=sys.stderr)
+            return 1
+        finally:
+            client.close()
+        emit(payload, (
+            f"verdict service on {args.socket}: pid {payload['pid']},"
+            f" protocol {payload['protocol']},"
+            f" store {payload['store']}"
+        ))
+        return 0
 
     if args.store_command == "stats":
         if args.socket:
@@ -540,6 +601,22 @@ def build_parser() -> argparse.ArgumentParser:
              " at the end, instead of contending on the shared WAL file"
              " (trades duplicate simulation for zero writer contention)",
     )
+    camp.add_argument(
+        "--retry-attempts", type=int, default=None, metavar="N",
+        help="max attempts per verdict-service request before a worker"
+             " degrades to its spill shard (default: the RetryPolicy"
+             " default, 5); only meaningful with a repro+unix:// store",
+    )
+    camp.add_argument(
+        "--retry-base-delay", type=float, default=None, metavar="SECONDS",
+        help="first backoff delay for verdict-service retries; doubles"
+             " per attempt with jitter (default 0.05)",
+    )
+    camp.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail a job outright when its retry policy is exhausted"
+             " instead of degrading to a local spill shard",
+    )
     add_store_options(camp)
     camp.set_defaults(fn=cmd_campaign)
 
@@ -554,6 +631,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket", metavar="SOCK", default=None,
         help="Unix socket path to listen on (default: <store>.sock);"
              " clients connect with --store repro+unix://SOCK",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=900.0, metavar="SECONDS",
+        help="reap a client connection after SECONDS without a request"
+             " (its ledger entry retires cleanly; retrying clients"
+             " reconnect transparently); 0 disables (default 900)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=60.0,
+        metavar="SECONDS",
+        help="fold the store's WAL back into the main file every"
+             " SECONDS in the background; 0 disables (default 60)",
     )
     serve.set_defaults(fn=cmd_serve)
 
@@ -617,8 +706,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket", metavar="SOCK", required=True,
         help="Unix socket the verdict service listens on",
     )
+    store_ping = store_sub.add_parser(
+        "ping",
+        help="probe verdict-service liveness: exit 0 with the handshake"
+             " payload, exit 1 if nothing answers (no store is opened)",
+    )
+    store_ping.add_argument(
+        "--socket", metavar="SOCK", required=True,
+        help="Unix socket the verdict service listens on",
+    )
+    store_ping.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="socket timeout for the single probe (default 5)",
+    )
     for store_parser in (store_stats, store_compact, store_merge,
-                         store_shutdown):
+                         store_shutdown, store_ping):
         store_parser.add_argument(
             "--json", action="store_true",
             help="print the machine-readable JSON report instead of text",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -103,6 +104,10 @@ class SimulationKernel:
     store_readonly:
         Open the store for lookups only: fresh verdicts stay
         in-process, nothing is written to disk.
+    store_retry:
+        A :class:`~repro.store.resilience.RetryPolicy` governing how
+        a service-URL store rides out transient daemon failures;
+        ignored for file stores and ready instances.
 
     >>> from repro.march.catalog import MATS
     >>> from repro.faults import FaultList
@@ -120,6 +125,7 @@ class SimulationKernel:
         pool: Optional[MemoryPool] = None,
         store: Union[str, FaultDictionaryStore, None] = None,
         store_readonly: bool = False,
+        store_retry: Optional[Any] = None,
     ) -> None:
         self.pool = pool or MemoryPool()
         self.backend = resolve_backend(backend, self.pool)
@@ -127,7 +133,9 @@ class SimulationKernel:
         # kernel's to close; a caller-provided instance may be shared
         # with other kernels, so close() must leave it alone.
         self._owns_store = isinstance(store, (str, Path)) or store is None
-        self.store = resolve_store(store, readonly=store_readonly)
+        self.store = resolve_store(
+            store, readonly=store_readonly, retry=store_retry
+        )
         memory = FaultDictionaryCache(cache_size)
         self.cache: Union[FaultDictionaryCache, TieredCache] = (
             TieredCache(memory, self.store)
@@ -143,6 +151,7 @@ class SimulationKernel:
             cache_size=getattr(config, "sim_cache_size", 1_000_000),
             store=getattr(config, "store_path", None),
             store_readonly=getattr(config, "store_readonly", False),
+            store_retry=getattr(config, "store_retry", None),
         )
 
     # -- introspection ----------------------------------------------------------
@@ -165,6 +174,14 @@ class SimulationKernel:
         parts = [str(self.stats)]
         if self.store is not None:
             parts.append(self.store.describe())
+            prober = getattr(self.cache, "resilience", None)
+            report = prober() if callable(prober) else None
+            if report and report.get("degraded"):
+                parts.append(
+                    f"DEGRADED after {report['attempts']} retr"
+                    f"{'y' if report['attempts'] == 1 else 'ies'}"
+                    f" (spill {report.get('spill')})"
+                )
         served = getattr(self.backend, "served", None) or {}
         routing = ", ".join(
             f"{name}: {count}" for name, count in sorted(served.items())

@@ -5,6 +5,9 @@
   ``SimKey``, corrupt-file quarantine-and-rebuild, readonly mode);
 * :mod:`repro.store.tiered` -- the write-through/read-through second
   tier the kernel layers under its in-memory LRU;
+* :mod:`repro.store.resilience` -- retry/backoff policy and the
+  degraded-mode spill wrapper the service client and campaign runner
+  build on (see the README section "Resilience & fault injection");
 * :mod:`repro.store.campaign` -- the declarative batch runner behind
   ``repro campaign`` (import it directly: it depends on the kernel
   package, which imports *this* package at startup).
@@ -12,6 +15,12 @@
 See the README section "Persistent results & campaigns".
 """
 
+from .resilience import (
+    DegradingStore,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientStoreError,
+)
 from .store import (
     BUSY_TIMEOUT_SECONDS,
     SCHEMA_VERSION,
@@ -29,9 +38,13 @@ from .tiered import TieredCache
 __all__ = [
     "BUSY_TIMEOUT_SECONDS",
     "CorruptStoreError",
+    "DegradingStore",
     "FaultDictionaryStore",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "SCHEMA_VERSION",
     "StoreError",
+    "TransientStoreError",
     "StoreSchemaError",
     "StoreStats",
     "TieredCache",

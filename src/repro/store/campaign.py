@@ -52,6 +52,24 @@ fans the jobs out over ``N`` worker processes:
   the run; shard mode trades duplicate simulation (and one small
   SQLite file per job) for zero writer contention.
 
+Resilience (verdict-service stores)
+-----------------------------------
+A service-URL campaign survives its daemon faulting underneath it.
+Each worker's :class:`~repro.store.service.ServiceStore` retries
+transient socket failures with backoff (the ``retry`` policy rides
+along in the job request), and when a policy is exhausted the worker
+*degrades* instead of failing: its client is wrapped in a
+:class:`~repro.store.resilience.DegradingStore` that demotes to a
+per-worker SQLite spill shard (``<socket>.spill-<job index>``) --
+the same shard machinery as ``shard=True`` -- so the job finishes
+with full write capture.  Surviving spills are merged back at the
+end (through the daemon's ``merge`` op when it recovered, directly
+into the server's store file otherwise) and the schema-3 manifest
+records ``degraded``/``attempts``/``spill`` per job plus a
+``resilience`` block, instead of failed rows.  Infrastructure faults
+change *where* verdicts land, never *what* they are, so
+``normalized_manifest`` strips all of it.
+
 This module depends on :mod:`repro.kernel`, which imports the store
 package at startup -- import it as ``repro.store.campaign`` directly,
 never from ``repro.store``'s namespace.
@@ -81,13 +99,16 @@ from ..faults.library import MODEL_REGISTRY
 from ..kernel import SimulationKernel, validate_backend_name
 from ..march.catalog import by_name
 from ..march.test import MarchTest, parse_march
-from .service import ServiceStore, is_service_url
-from .store import FaultDictionaryStore
+from .resilience import DegradingStore, RetryPolicy
+from .service import ServiceStore, is_service_url, service_socket_path
+from .store import FaultDictionaryStore, StoreError
 
 #: Generation of the manifest payload layout.  v2: one job per
 #: (test, backend, size), per-job ``test``/``error`` fields, the
-#: ``parallel`` execution block and ``totals["failed"]``.
-MANIFEST_SCHEMA = 2
+#: ``parallel`` execution block and ``totals["failed"]``.  v3: the
+#: top-level ``resilience`` block, per-job ``degraded``/``attempts``/
+#: ``spill`` and ``totals["degraded"]``.
+MANIFEST_SCHEMA = 3
 
 DEFAULT_MANIFEST_NAME = "campaign_manifest.json"
 
@@ -233,13 +254,40 @@ class _JobRequest:
     faults: Tuple[str, ...]
     store_path: Optional[str]
     store_readonly: bool
+    retry: Optional[RetryPolicy] = None
+    degrade: bool = False
+    spill_path: Optional[str] = None
+
+
+def _open_job_store(request: _JobRequest) -> Optional[Any]:
+    """Open this job's store tier, with resilience for service URLs.
+
+    File stores (and storeless jobs) keep the historical path-based
+    opening inside the kernel and return ``None`` here.  Service URLs
+    become an explicit :class:`ServiceStore` carrying the campaign's
+    retry policy -- wrapped in a :class:`DegradingStore` over the
+    job's private spill shard when degradation is on -- which the
+    kernel then layers under its LRU like any caller-provided tier.
+    """
+    if request.store_path is None or not is_service_url(request.store_path):
+        return None
+    client = ServiceStore(
+        request.store_path,
+        readonly=request.store_readonly,
+        retry=request.retry,
+    )
+    if request.degrade and not request.store_readonly \
+            and request.spill_path is not None:
+        return DegradingStore(client, request.spill_path)
+    return client
 
 
 def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
     started = time.perf_counter()
+    store_obj = _open_job_store(request)
     kernel = SimulationKernel(
         backend=request.backend,
-        store=request.store_path,
+        store=store_obj if store_obj is not None else request.store_path,
         store_readonly=request.store_readonly,
     )
     # try/finally around *everything* after kernel construction: a job
@@ -251,6 +299,11 @@ def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
         cases = FaultList.from_names(*request.faults).instances(request.size)
         report = kernel.simulate(test, cases, request.size)
         seconds = time.perf_counter() - started
+        prober = getattr(kernel.store, "resilience", None)
+        resilience = (
+            prober() if callable(prober)
+            else {"attempts": 0, "degraded": False, "spill": None}
+        )
         record: Dict[str, Any] = {
             "test": test.name or str(test),
             "notation": str(test),
@@ -259,6 +312,9 @@ def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
             "fault_cases": len(cases),
             "seconds": seconds,
             "error": None,
+            "degraded": resilience["degraded"],
+            "attempts": resilience["attempts"],
+            "spill": resilience["spill"],
             "cache": {
                 "hits": kernel.stats.hits,
                 "misses": kernel.stats.misses,
@@ -284,7 +340,14 @@ def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
         }
         return record
     finally:
-        kernel.close()
+        try:
+            kernel.close()
+        finally:
+            # The kernel never owns a caller-provided tier; a
+            # service/degrading store opened here is ours to close
+            # (flushing the spill's WAL so the merge sees every row).
+            if store_obj is not None:
+                store_obj.close()
 
 
 def _execute_job(request: _JobRequest) -> Dict[str, Any]:
@@ -311,6 +374,9 @@ def _error_record(request: _JobRequest, error: BaseException) -> Dict[str, Any]:
         "fault_cases": None,
         "seconds": None,
         "error": f"{type(error).__name__}: {error}",
+        "degraded": False,
+        "attempts": 0,
+        "spill": None,
         "cache": None,
         "served": {},
         "result": None,
@@ -335,6 +401,8 @@ def run_campaign(
     jobs: int = 1,
     shard: bool = False,
     progress: Optional[ProgressSink] = None,
+    retry: Optional[RetryPolicy] = None,
+    degrade: bool = True,
 ) -> Dict[str, Any]:
     """Execute every job of ``spec``; return the results manifest.
 
@@ -355,11 +423,19 @@ def run_campaign(
 
     ``progress`` is called as each job completes (in completion order)
     with ``(done, total, job_record)``.
+
+    ``retry`` is the per-job :class:`RetryPolicy` for service-URL
+    stores (``None`` means the default policy); ``degrade`` controls
+    whether exhausted retries demote a worker to a spill shard
+    (see the module docstring) or fail the job.  Both are ignored for
+    file stores.
     """
     if jobs < 1:
         raise CampaignSpecError("jobs must be >= 1")
     store = store_path if store_path is not None else spec.store
     service = store is not None and is_service_url(str(store))
+    policy = retry if retry is not None else RetryPolicy()
+    degrade_active = service and degrade and not store_readonly
     if shard:
         if store is None:
             raise CampaignSpecError("shard mode needs --store")
@@ -376,6 +452,12 @@ def run_campaign(
     def shard_path(index: int) -> str:
         return f"{store}.shard-{index}"
 
+    def spill_path(index: int) -> str:
+        # Next to the socket, not the daemon's store file: the client
+        # may not know (or share a filesystem view of) the store path,
+        # but the socket path is its own connection target.
+        return f"{service_socket_path(str(store))}.spill-{index}"
+
     requests = [
         _JobRequest(
             index=index,
@@ -383,20 +465,31 @@ def run_campaign(
             backend=backend,
             size=size,
             faults=spec.faults,
-            store_path=shard_path(index) if shard else store,
+            store_path=shard_path(index) if shard else (
+                str(store) if store is not None else None
+            ),
             store_readonly=store_readonly,
+            retry=policy if service else None,
+            degrade=degrade_active,
+            spill_path=spill_path(index) if degrade_active else None,
         )
         for index, (backend, size, test) in enumerate(spec.jobs())
     ]
 
     started_campaign = time.perf_counter()
+    server_store: Optional[str] = None
     if service:
         # No client-side SQLite open: just handshake with the daemon so
         # an unreachable (or foreign) socket fails the campaign up
-        # front instead of failing every job.
+        # front instead of failing every job.  The probe always rides
+        # the *default* retry policy -- a retries-disabled campaign
+        # must still start through a flaky transport -- and the
+        # handshake tells us where the daemon's store file lives, the
+        # fallback merge target if the daemon never comes back.
         probe = ServiceStore(str(store))
         try:
-            probe.ping()
+            hello = probe.ping()
+            server_store = hello.get("store")
         finally:
             probe.close()
     elif store is not None and not store_readonly:
@@ -473,6 +566,14 @@ def run_campaign(
         merge_stats = _merge_shards(
             store, [shard_path(request.index) for request in requests]
         )
+    spill_merge: Optional[Dict[str, Any]] = None
+    if degrade_active:
+        spill_merge = _merge_spills(
+            str(store),
+            server_store,
+            [spill_path(request.index) for request in requests],
+            RetryPolicy(),
+        )
 
     ordered = [record for record in records if record is not None]
     results = [
@@ -489,6 +590,7 @@ def run_campaign(
         (record.get("store") or {}).get("hits", 0) for record in ordered
     )
     failed = sum(1 for record in ordered if record["error"] is not None)
+    degraded = sum(1 for record in ordered if record.get("degraded"))
     mode = (
         "sequential" if jobs == 1
         else ("sharded" if shard else "shared")
@@ -509,12 +611,18 @@ def run_campaign(
             "mode": mode,
             "shard_merge": merge_stats,
         },
+        "resilience": {
+            "retry": policy.knobs() if service else None,
+            "degrade": degrade_active,
+            "spill_merge": spill_merge,
+        },
         "jobs": job_rows,
         "results": results,
         "totals": {
             "jobs": len(job_rows),
             "results": len(results),
             "failed": failed,
+            "degraded": degraded,
             "verdicts_simulated": simulated,
             "verdicts_from_store": store_hits,
             "seconds": time.perf_counter() - started_campaign,
@@ -556,6 +664,86 @@ def _merge_shards(
     return totals
 
 
+def _merge_spills(
+    store_url: str,
+    server_store: Optional[str],
+    spill_paths: List[str],
+    retry: RetryPolicy,
+) -> Dict[str, Any]:
+    """Fold surviving degraded-mode spills back into the dictionary.
+
+    A spill exists only where a worker outlived the daemon, so the
+    preferred route -- the daemon's ``merge`` op, which needs the
+    daemon back up -- may well be gone too.  The fallback merges
+    directly into the server's store file (learned from the campaign's
+    opening handshake; over a Unix socket that file is same-host by
+    construction).  Merged spills are deleted with their WAL/SHM
+    droppings; anything unmergeable is *kept* on disk and listed under
+    ``"unmerged"`` so the verdicts are never silently dropped.
+    """
+    totals: Dict[str, Any] = {
+        "spills": 0, "source_rows": 0, "inserted": 0, "merged": 0,
+        "via": None, "unmerged": [],
+    }
+    existing = [path for path in spill_paths if Path(path).exists()]
+    if not existing:
+        return totals
+
+    def merge_via_service(path: str) -> Dict[str, int]:
+        client = ServiceStore(store_url, retry=retry)
+        try:
+            return client.merge_from(path)
+        finally:
+            client.close()
+
+    def merge_via_file(path: str) -> Dict[str, int]:
+        if server_store is None:
+            raise StoreError(
+                "no server store path known for the fallback merge"
+            )
+        main = FaultDictionaryStore(server_store)
+        try:
+            return main.merge_from(path)
+        finally:
+            main.close()
+
+    service_alive = True  # until a merge op proves otherwise
+    for path in existing:
+        stats = None
+        routes = [("file", merge_via_file)]
+        if service_alive:
+            routes.insert(0, ("service", merge_via_service))
+        for via, folder in routes:
+            try:
+                stats = folder(path)
+            except StoreError:
+                if via == "service":
+                    # Don't pay the retry budget again per spill: a
+                    # daemon that just refused the merge is down for
+                    # the rest of this (sub-second) merge pass too.
+                    service_alive = False
+                continue
+            totals["via"] = via if totals["via"] in (None, via) else "mixed"
+            break
+        if stats is None:
+            totals["unmerged"].append(path)
+            continue
+        totals["spills"] += 1
+        for field in ("source_rows", "inserted", "merged"):
+            totals[field] += stats[field]
+        spill = Path(path)
+        for dropping in (
+            spill,
+            spill.with_name(spill.name + "-wal"),
+            spill.with_name(spill.name + "-shm"),
+        ):
+            try:
+                dropping.unlink()
+            except FileNotFoundError:
+                pass
+    return totals
+
+
 # -- manifest tooling -----------------------------------------------------------
 
 
@@ -571,13 +759,22 @@ def write_manifest(
 
 
 #: Manifest fields that legitimately differ between two runs of the
-#: same spec: wall-clock, timestamps, and cache/store counters (a
+#: same spec: wall-clock, timestamps, cache/store counters (a
 #: parallel run races its jobs, so which job *simulated* a shared
 #: verdict and which found it in the store is scheduling-dependent --
-#: the verdicts themselves are not).
-_RUN_DEPENDENT_TOP = ("generated_unix", "store", "store_readonly", "parallel")
-_RUN_DEPENDENT_JOB = ("seconds", "cache", "served", "store")
-_RUN_DEPENDENT_TOTALS = ("seconds", "verdicts_simulated", "verdicts_from_store")
+#: the verdicts themselves are not) and the whole resilience story
+#: (retries taken, degradations, spill merges: infrastructure faults
+#: change *where* verdicts land, never *what* they are, so a run
+#: through a chaos proxy must normalize identically to a direct one).
+_RUN_DEPENDENT_TOP = (
+    "generated_unix", "store", "store_readonly", "parallel", "resilience",
+)
+_RUN_DEPENDENT_JOB = (
+    "seconds", "cache", "served", "store", "degraded", "attempts", "spill",
+)
+_RUN_DEPENDENT_TOTALS = (
+    "seconds", "verdicts_simulated", "verdicts_from_store", "degraded",
+)
 
 
 def normalized_manifest(manifest: Dict[str, Any]) -> Dict[str, Any]:
@@ -607,11 +804,15 @@ def summarize(manifest: Dict[str, Any]) -> str:
     lines = []
     totals = manifest["totals"]
     parallel = manifest.get("parallel", {})
+    degraded_total = totals.get("degraded", 0)
+    degraded_text = (
+        f" {degraded_total} degraded," if degraded_total else ""
+    )
     lines.append(
         f"campaign '{manifest['campaign']}':"
         f" {totals['jobs']} jobs ({parallel.get('mode', 'sequential')},"
         f" {parallel.get('jobs', 1)} workers),"
-        f" {totals['failed']} failed,"
+        f" {totals['failed']} failed,{degraded_text}"
         f" {totals['verdicts_simulated']} verdicts simulated,"
         f" {totals['verdicts_from_store']} from the store,"
         f" {totals['seconds']:.2f}s"
@@ -629,11 +830,16 @@ def summarize(manifest: Dict[str, Any]) -> str:
             if store is not None
             else ""
         )
+        degraded_text = (
+            f"  DEGRADED after {job['attempts']} retries"
+            if job.get("degraded")
+            else ""
+        )
         lines.append(
             f"  job [{job['backend']} @ size {job['size']}]"
             f" {job['test']:12s}"
             f" {job['fault_cases']} cases {job['seconds'] * 1e3:8.1f} ms"
-            f"{store_text}"
+            f"{store_text}{degraded_text}"
         )
     for row in manifest["results"]:
         lines.append(

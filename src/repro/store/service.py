@@ -48,9 +48,28 @@ Topology
   difference.  Pass a ``repro+unix:///path/to.sock`` URL anywhere a
   store path is accepted (``--store``, ``GeneratorConfig.store_path``,
   campaign specs) and :func:`~repro.store.store.resolve_store`
-  dispatches here.  Connections are lazy and self-healing: a request
-  that hits a dead socket reconnects (and re-handshakes) once before
-  giving up, so a service restart does not kill long-lived clients.
+  dispatches here.  Connections are lazy and self-healing: transient
+  failures (daemon restart, connection reset, timeout, a desynced
+  stream after a *successful* handshake) raise
+  :class:`ServiceUnavailableError` and are retried with exponential
+  backoff under an injectable
+  :class:`~repro.store.resilience.RetryPolicy`, while permanent
+  errors (protocol mismatch, foreign listener, a refused request)
+  fail fast no matter the retry budget.
+
+Resilience (PR 7)
+-----------------
+The daemon reaps idle clients (``--idle-timeout``: a per-connection
+read timeout replaces the forever-blocking read, closing the
+connection and retiring its ledger entry; retrying clients reconnect
+transparently), checkpoints its WAL on a background timer
+(``--checkpoint-interval``) so a SIGKILL loses at most the last
+interval's WAL growth, and answers a ``health`` op (uptime, connection
+counts, reaped/checkpoint/error counters) next to ``ping`` -- the
+``repro store ping`` liveness probe.  A ``merge`` op folds a
+server-local store file (in practice a campaign worker's degraded
+spill shard) into the served dictionary without a second writer ever
+opening it.
 
 ``repro campaign --jobs N --store repro+unix://...`` is the designated
 cross-host fan-out substrate: N concurrent writers become N socket
@@ -71,6 +90,7 @@ import socket
 import stat
 import struct
 import threading
+import time
 from pathlib import Path
 from typing import (
     Any,
@@ -84,6 +104,11 @@ from typing import (
 )
 
 from ..kernel.cache import SimKey
+from .resilience import (
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientStoreError,
+)
 from .store import (
     SCHEMA_VERSION,
     SERVICE_URL_PREFIX,
@@ -112,6 +137,20 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: dictionary is the slowest legitimate request.
 DEFAULT_TIMEOUT_SECONDS = 120.0
 
+#: Per-connection idle read timeout on the *server* side.  Generous --
+#: a campaign worker legitimately goes quiet for minutes while its
+#: backend simulates between store batches -- but finite: one idle (or
+#: wedged) client may no longer pin a handler thread forever.  Reaped
+#: clients lose only a socket; a retrying :class:`ServiceStore`
+#: reconnects transparently on its next request.
+DEFAULT_IDLE_TIMEOUT_SECONDS = 900.0
+
+#: Period of the daemon's background WAL checkpoint.  A PASSIVE
+#: checkpoint every interval bounds how much committed-but-unfolded
+#: WAL a SIGKILL can leave behind (the data is durable either way;
+#: this bounds recovery work and WAL file growth).
+DEFAULT_CHECKPOINT_INTERVAL_SECONDS = 60.0
+
 #: How many *disconnected* clients keep an individual entry in the
 #: per-client ledger.  A long-lived daemon serves an unbounded client
 #: stream (every campaign worker is one connection); beyond this cap
@@ -126,6 +165,15 @@ _HEADER = struct.Struct(">I")
 
 class ServiceError(StoreError):
     """The verdict service (or its socket) cannot serve the request."""
+
+
+class ServiceUnavailableError(ServiceError, TransientStoreError):
+    """Transient service failure: nothing answered, the peer hung up,
+    or the connection desynced after a successful handshake.  Worth
+    retrying (the :class:`~repro.store.resilience.TransientStoreError`
+    marker routes it into :class:`RetryPolicy` backoff and
+    :class:`~repro.store.resilience.DegradingStore` demotion); plain
+    :class:`ServiceError` stays permanent and fails fast."""
 
 
 def is_service_url(target: Any) -> bool:
@@ -237,11 +285,18 @@ class ServiceStore:
         target: Union[str, Path],
         readonly: bool = False,
         timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.socket_path = service_socket_path(target)
         self.url = service_url(self.socket_path)
         self.readonly = readonly
         self.timeout = timeout
+        #: Transient-failure policy; default rides out a short daemon
+        #: restart.  ``RetryPolicy.no_retry()`` restores fail-fast.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: How many transient failures this client has retried (each
+        #: one cost a backoff sleep and a reconnect).
+        self.retries = 0
         self.stats = StoreStats()
         #: The server's last handshake answer (pid, store path, schema).
         self.server: Dict[str, Any] = {}
@@ -257,14 +312,16 @@ class ServiceStore:
             sock.connect(str(self.socket_path))
         except OSError as error:
             sock.close()
-            raise ServiceError(
+            raise ServiceUnavailableError(
                 f"no verdict service at {self.socket_path}: {error};"
                 " start one with `repro serve STORE --socket SOCK`"
             ) from error
-        # Connected: from here on, every failure means the listener is
-        # not (or no longer) a verdict service -- a garbage answer, a
-        # peer that hangs up mid-handshake -- and is classified as
-        # such, never as "nothing listening".
+        # Connected.  Transient vs permanent is decided by *how* the
+        # handshake fails: a peer that hangs up (EOF, reset, timeout)
+        # may be a daemon dying or restarting under us -- transient,
+        # retried.  A peer that *answers wrongly* (garbage frames, a
+        # foreign magic, another protocol generation) is definitely
+        # not our service -- permanent, fail fast, never unlinked.
         try:
             _send_frame(sock, {"op": "ping"})
             hello = _recv_frame(sock)
@@ -275,11 +332,19 @@ class ServiceStore:
             ) from error
         except OSError as error:
             sock.close()
-            raise ServiceError(
-                f"the listener on {self.socket_path} is not a verdict"
-                f" service (handshake failed: {error})"
+            raise ServiceUnavailableError(
+                f"the verdict service at {self.socket_path} did not"
+                f" complete the handshake ({error}); it may be"
+                " restarting"
             ) from error
-        if hello is None or hello.get("service") != SERVICE_MAGIC:
+        if hello is None:
+            sock.close()
+            raise ServiceUnavailableError(
+                f"the listener on {self.socket_path} hung up during"
+                " the handshake; it may be a verdict service going"
+                " down (or a foreign socket -- retries will tell)"
+            )
+        if hello.get("service") != SERVICE_MAGIC:
             sock.close()
             raise ServiceError(
                 f"the listener on {self.socket_path} is not a verdict"
@@ -304,53 +369,80 @@ class ServiceStore:
             except OSError:  # pragma: no cover - close is best-effort
                 pass
 
-    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """One round trip, reconnecting once across a server restart.
+    def _attempt(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip on (at most) one connection.
 
-        Retrying a write is safe: every ``put_many`` is an idempotent
-        batch of canonical upserts, so at-least-once delivery cannot
-        corrupt the dictionary.
+        Raises :class:`ServiceUnavailableError` for everything a fresh
+        connection could plausibly cure -- the socket died, the server
+        hung up mid-request, or the stream desynced *after* a
+        successful handshake (the handshake proved the peer speaks the
+        protocol, so mid-stream garbage is transport corruption; the
+        reconnect's fresh handshake re-verifies the peer and fails
+        fast if it really turned foreign).  A well-framed ``ok: false``
+        answer is the server refusing the request: permanent.
         """
+        if self._sock is None:
+            self._sock = self._connect()
+        try:
+            _send_frame(self._sock, payload)
+            response = _recv_frame(self._sock)
+        except ServiceError as error:
+            # Broken framing: whatever else sits in the stream is
+            # unusable (e.g. the body of an oversize frame).  Drop the
+            # connection so the retry starts clean instead of reading
+            # mid-body bytes as a header forever.
+            self._drop_connection()
+            raise ServiceUnavailableError(
+                f"verdict-service connection to {self.socket_path}"
+                f" desynced mid-stream: {error}"
+            ) from error
+        except OSError as error:
+            self._drop_connection()
+            raise ServiceUnavailableError(
+                f"lost the verdict service at {self.socket_path}:"
+                f" {error}"
+            ) from error
+        if response is None:
+            # Server went away mid-request (restart, shutdown, reap).
+            self._drop_connection()
+            raise ServiceUnavailableError(
+                f"verdict service at {self.socket_path} closed the"
+                " connection"
+            )
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error")
+                or "verdict service refused the request"
+            )
+        return response
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request under the retry policy.
+
+        Transient failures (:class:`ServiceUnavailableError`) are
+        retried with the policy's backoff -- each retry reconnects and
+        re-handshakes -- until the attempt or deadline budget runs
+        out; permanent :class:`ServiceError`\\ s propagate on the first
+        attempt.  Retrying a write is safe: every ``put_many`` is an
+        idempotent batch of canonical upserts, so at-least-once
+        delivery cannot corrupt the dictionary.
+        """
+        def on_retry(
+            attempt: int, delay: float, error: BaseException
+        ) -> None:
+            self.retries += 1
+
         with self._lock:
-            for attempt in (0, 1):
-                if self._sock is None:
-                    self._sock = self._connect()
-                try:
-                    _send_frame(self._sock, payload)
-                    response = _recv_frame(self._sock)
-                except ServiceError:
-                    # The peer broke framing: whatever else sits in the
-                    # stream is unusable (e.g. the body of an oversize
-                    # frame).  Drop the connection so the next request
-                    # starts clean instead of reading mid-body bytes as
-                    # a header forever.
-                    self._drop_connection()
-                    raise
-                except OSError as error:
-                    self._drop_connection()
-                    if attempt:
-                        raise ServiceError(
-                            f"lost the verdict service at"
-                            f" {self.socket_path}: {error}"
-                        ) from error
-                    continue
-                if response is None:
-                    # Server went away mid-request (restart, shutdown):
-                    # reconnect once, then give up.
-                    self._drop_connection()
-                    if attempt:
-                        raise ServiceError(
-                            f"verdict service at {self.socket_path} closed"
-                            " the connection"
-                        )
-                    continue
-                if not response.get("ok"):
-                    raise ServiceError(
-                        response.get("error")
-                        or "verdict service refused the request"
-                    )
-                return response
-        raise AssertionError("unreachable")  # pragma: no cover
+            try:
+                return self.retry.call(
+                    lambda: self._attempt(payload), on_retry=on_retry
+                )
+            except RetryExhaustedError as error:
+                raise ServiceUnavailableError(
+                    f"verdict service at {self.socket_path} still"
+                    f" unavailable after {error.attempts} attempt(s)"
+                    f" over {error.elapsed:.2f}s: {error.last_error}"
+                ) from error
 
     # -- lookups ----------------------------------------------------------------
 
@@ -420,6 +512,42 @@ class ServiceStore:
         hit/miss/write counters (``repro store stats --socket``)."""
         response = self._request({"op": "stats"})
         return {k: v for k, v in response.items() if k != "ok"}
+
+    def health(self) -> Dict[str, Any]:
+        """The daemon's liveness report: uptime, connection counts and
+        the resilience counters (idle reaps, checkpoints, errors)."""
+        response = self._request({"op": "health"})
+        return {k: v for k, v in response.items() if k != "ok"}
+
+    def merge_from(
+        self, source: Union[str, Path]
+    ) -> Dict[str, int]:
+        """Ask the daemon to fold a *server-local* store file into the
+        dictionary it owns (``{"source_rows", "inserted", "merged"}``).
+
+        This is how degraded campaign spill shards rejoin the main
+        dictionary without a second process ever writing the served
+        file.  ``source`` is resolved by the daemon; Unix-socket
+        services are same-host by construction, so worker spill paths
+        are visible to it.
+        """
+        if self.readonly:
+            raise StoreError(
+                "cannot merge through a readonly service client"
+            )
+        response = self._request(
+            {"op": "merge", "source": str(source)}
+        )
+        return response["merged"]
+
+    def resilience(self) -> Dict[str, Any]:
+        """Retry/degradation counters in the shape the campaign
+        manifest records per job (a plain client never degrades)."""
+        return {
+            "attempts": self.retries,
+            "degraded": False,
+            "spill": None,
+        }
 
     def row_stats(self) -> Dict[str, Any]:
         """Row population of the served store (file-store parity)."""
@@ -494,6 +622,10 @@ class VerdictService:
         store_path: Union[str, Path],
         socket_path: Union[str, Path, None] = None,
         timeout: float = DEFAULT_TIMEOUT_SECONDS,
+        idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT_SECONDS,
+        checkpoint_interval: Optional[float] = (
+            DEFAULT_CHECKPOINT_INTERVAL_SECONDS
+        ),
     ) -> None:
         self.store_path = Path(store_path)
         self.socket_path = (
@@ -502,12 +634,19 @@ class VerdictService:
             else self.store_path.with_name(self.store_path.name + ".sock")
         )
         self.timeout = timeout
+        #: Per-connection idle read timeout; ``None``/``0`` restores
+        #: the (leaky) block-forever behaviour.
+        self.idle_timeout = idle_timeout or None
+        #: Background WAL-checkpoint period; ``None``/``0`` disables
+        #: the timer (graceful shutdown still checkpoints).
+        self.checkpoint_interval = checkpoint_interval or None
         self.store: Optional[FaultDictionaryStore] = None
         self.started = False
         #: Per-instance override of :data:`MAX_CLIENT_LEDGER`.
         self.max_client_ledger = MAX_CLIENT_LEDGER
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
+        self._checkpoint_thread: Optional[threading.Thread] = None
         self._handlers: Dict[int, threading.Thread] = {}
         self._connections: Dict[int, socket.socket] = {}
         self._clients: Dict[int, Dict[str, Any]] = {}
@@ -516,6 +655,10 @@ class VerdictService:
             "writes": 0,
         }
         self._client_seq = 0
+        self._started_monotonic = 0.0
+        #: Resilience counters (under the state lock): idle clients
+        #: reaped, background checkpoints run, error answers sent.
+        self._counters = {"reaped_idle": 0, "checkpoints": 0, "errors": 0}
         self._state_lock = threading.Lock()
         self._stop = threading.Event()
         self._teardown_lock = threading.Lock()
@@ -565,10 +708,18 @@ class VerdictService:
         self._torn_down = False
         self._stop.clear()
         self.started = True
+        self._started_monotonic = time.monotonic()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="verdict-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.checkpoint_interval:
+            self._checkpoint_thread = threading.Thread(
+                target=self._checkpoint_loop,
+                name="verdict-checkpoint",
+                daemon=True,
+            )
+            self._checkpoint_thread.start()
         return self
 
     def _acquire_lock(self) -> None:
@@ -681,6 +832,10 @@ class VerdictService:
             if self._accept_thread is not None \
                     and self._accept_thread is not current:
                 self._accept_thread.join(timeout=10)
+            if self._checkpoint_thread is not None \
+                    and self._checkpoint_thread is not current:
+                self._checkpoint_thread.join(timeout=10)
+                self._checkpoint_thread = None
             for thread in handlers:
                 if thread is not current:
                     thread.join(timeout=10)
@@ -740,15 +895,40 @@ class VerdictService:
                 self._handlers[client_id] = thread
             thread.start()
 
+    def _checkpoint_loop(self) -> None:
+        """Fold the WAL back periodically, until shutdown.
+
+        State lock -> store lock is the same acquisition order as
+        every dispatch path, so the timer can never deadlock a batch.
+        """
+        while not self._stop.wait(self.checkpoint_interval):
+            with self._state_lock:
+                store = self.store
+                if store is None:  # pragma: no cover - stop() raced us
+                    break
+                if store.checkpoint():
+                    self._counters["checkpoints"] += 1
+
     def _serve_client(self, conn: socket.socket, client_id: int) -> None:
         # Per-client counters are only ever touched by this one handler
         # thread; the stats op snapshots them under the state lock.
         counters = self._clients[client_id]
-        conn.settimeout(None)
+        # The idle timeout replaces the historical settimeout(None):
+        # a client that goes quiet past it is reaped -- connection
+        # closed, handler retired, ledger entry folded like any clean
+        # disconnect -- instead of pinning this thread forever.
+        conn.settimeout(self.idle_timeout)
         try:
             while not self._stop.is_set():
                 try:
                     request = _recv_frame(conn)
+                except socket.timeout:
+                    # Idle past the budget (socket.timeout must be
+                    # caught before its OSError parent).  Retrying
+                    # clients reconnect transparently next request.
+                    with self._state_lock:
+                        self._counters["reaped_idle"] += 1
+                    break
                 except (OSError, ServiceError):
                     # Dead peer or a non-protocol talker: drop it.  One
                     # bad client never takes the daemon down.
@@ -766,6 +946,9 @@ class VerdictService:
                         "ok": False,
                         "error": f"{type(error).__name__}: {error}",
                     }
+                if not response.get("ok"):
+                    with self._state_lock:
+                        self._counters["errors"] += 1
                 try:
                     _send_frame(conn, response)
                 except OSError:
@@ -848,6 +1031,21 @@ class VerdictService:
             return {"ok": True, "written": len(pairs)}
         if op == "stats":
             return {"ok": True, **self.snapshot_stats()}
+        if op == "health":
+            return {"ok": True, **self.health_snapshot()}
+        if op == "merge":
+            source = request.get("source")
+            if not isinstance(source, str) or not source:
+                raise ServiceError(
+                    f"merge needs a source store path, got {source!r}"
+                )
+            # merge_from writes rows behind StoreStats' back by design
+            # (it is bulk recovery, not cache traffic), so the ledger
+            # invariant "per-client + retired == store writes" is
+            # untouched: neither side of it moves.
+            with self._state_lock:
+                merged = self.store.merge_from(source)
+            return {"ok": True, "merged": merged}
         if op == "compact":
             return {
                 "ok": True,
@@ -862,6 +1060,33 @@ class VerdictService:
             return {"ok": True, "stopping": True}
         return {"ok": False, "error": f"unknown protocol op {op!r}"}
 
+    def health_snapshot(self) -> Dict[str, Any]:
+        """The ``health`` op's payload: liveness, not ledger detail.
+
+        Cheap by construction -- no row counting, no per-client dump --
+        so monitors can poll it without perturbing a busy daemon.
+        """
+        with self._state_lock:
+            active = len(self._connections)
+            total = len(self._clients) + self._retired["clients"]
+            requests = (
+                sum(c["requests"] for c in self._clients.values())
+                + self._retired["requests"]
+            )
+            counters = dict(self._counters)
+        return {
+            "service": SERVICE_MAGIC,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "store": str(self.store_path),
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "connections": {"active": active, "total": total},
+            "requests": requests,
+            "counters": counters,
+            "idle_timeout": self.idle_timeout,
+            "checkpoint_interval": self.checkpoint_interval,
+        }
+
     def snapshot_stats(self) -> Dict[str, Any]:
         """The ``stats`` op's payload: rows, store counters, clients."""
         # One state-lock scope for the whole snapshot: per-client rows,
@@ -874,6 +1099,7 @@ class VerdictService:
                 for client_id, counters in self._clients.items()
             }
             retired = dict(self._retired)
+            counters = dict(self._counters)
             stats = self.store.stats
             store_stats = {
                 "hits": stats.hits,
@@ -887,6 +1113,8 @@ class VerdictService:
             "protocol": PROTOCOL_VERSION,
             "pid": os.getpid(),
             "socket": str(self.socket_path),
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "counters": counters,
             "row_stats": row_stats,
             "store_stats": store_stats,
             "clients": {

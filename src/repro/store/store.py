@@ -408,6 +408,27 @@ class FaultDictionaryStore:
                 pass
         self.quarantined = target
 
+    def checkpoint(self, mode: str = "PASSIVE") -> bool:
+        """Fold the WAL back into the main database file, tolerantly.
+
+        ``PASSIVE`` by default so a busy reader never stalls the
+        caller (the daemon runs this on a timer).  Returns whether a
+        checkpoint actually ran; readonly stores, closed stores and
+        SQLite refusals all answer ``False`` rather than raise.
+        """
+        if self.readonly:
+            return False
+        if mode not in ("PASSIVE", "FULL", "RESTART", "TRUNCATE"):
+            raise ValueError(f"unknown WAL checkpoint mode {mode!r}")
+        with self._lock:
+            if self._conn is None:
+                return False
+            try:
+                self._conn.execute(f"PRAGMA wal_checkpoint({mode})")
+            except sqlite3.Error:
+                return False
+        return True
+
     def close(self) -> None:
         """Checkpoint the WAL and release the connection (idempotent)."""
         conn, self._conn = self._conn, None
@@ -766,6 +787,7 @@ class FaultDictionaryStore:
 def resolve_store(
     store: "Union[str, Path, FaultDictionaryStore, Any, None]",
     readonly: bool = False,
+    retry: Optional[Any] = None,
 ) -> Optional[Any]:
     """Turn a store reference into a ready verdict store.
 
@@ -774,6 +796,10 @@ def resolve_store(
     as-is; a ``repro+unix://`` verdict-service URL, dispatched to
     :class:`repro.store.service.ServiceStore` (no SQLite file is
     opened client-side); or a filesystem path, opened directly.
+
+    ``retry`` (a :class:`repro.store.resilience.RetryPolicy`) only
+    applies to the service-URL case; file stores have no transient
+    failure mode worth a policy, and ready objects keep their own.
     """
     if store is None:
         return None
@@ -782,7 +808,7 @@ def resolve_store(
         if text.startswith(SERVICE_URL_PREFIX):
             from .service import ServiceStore
 
-            return ServiceStore(text, readonly=readonly)
+            return ServiceStore(text, readonly=readonly, retry=retry)
         return FaultDictionaryStore(store, readonly=readonly)
     # A ready store-like instance (FaultDictionaryStore, ServiceStore,
     # or a user-provided tier): the caller owns its lifecycle.

@@ -83,6 +83,16 @@ class TieredCache:
         """The in-memory tier's entries (diagnostics)."""
         return self.memory.snapshot()
 
+    def resilience(self) -> "Union[Dict[str, Any], None]":
+        """The second tier's retry/degradation report, if it keeps one.
+
+        ``ServiceStore`` and ``DegradingStore`` tiers answer a dict
+        (``attempts``/``degraded``/``spill``); plain file stores answer
+        ``None`` -- they have no transient failure mode to report.
+        """
+        prober = getattr(self.store, "resilience", None)
+        return prober() if callable(prober) else None
+
     # -- lookups ----------------------------------------------------------------
 
     def get(self, key: "SimKey", default: Any = None) -> Any:

@@ -1,0 +1,345 @@
+"""Fault-injection harness for the verdict service: the ChaosProxy.
+
+A :class:`ChaosProxy` is a frame-aware man-in-the-middle between a
+verdict-service client and its daemon: it listens on a socket of its
+own, relays length-prefixed frames in both directions, and -- driven
+by a *seeded* RNG -- injects the faults a real deployment produces:
+
+* **delay** -- hold a frame for a moment (slow network, busy daemon);
+* **drop** -- close both sides mid-conversation (connection reset);
+* **truncate** -- forward only part of a frame, then close (a peer
+  dying mid-write);
+* **garbage** -- replace the frame's bytes with noise (transport
+  corruption).  Never injected into the *first* server->client frame
+  of a connection: that frame is the handshake, and a garbled
+  handshake is by-design a permanent "foreign listener" error --
+  chaos must only exercise the *transient* fault space.
+
+Determinism: every per-connection, per-direction fault stream is
+seeded as ``random.Random(f"{seed}:{conn_seq}:{direction}")`` --
+string seeding hashes with SHA-512 internally, so the schedule is
+stable across processes and runs.  Two proxies with the same plan and
+the same connection arrival order inject the same faults.
+
+:class:`ServeDaemon` runs ``repro serve`` as a real subprocess so
+tests can SIGKILL it mid-campaign and (optionally) restart it -- the
+one fault a proxy cannot fake.
+"""
+
+import os
+import random
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+_HEADER = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded fault rates (per frame, cumulative <= 1.0)."""
+
+    seed: int = 0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.002
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    garbage_rate: float = 0.0
+
+
+class ChaosProxy:
+    """A deterministic fault-injecting relay for one verdict service.
+
+    ``with ChaosProxy(upstream, proxy_sock, plan) as proxy:`` listens
+    on ``proxy_sock``; point clients at ``proxy.url``.  ``counters``
+    tallies injected faults by kind; :meth:`total_injected` sums them.
+    """
+
+    def __init__(self, upstream, listen_path, plan: ChaosPlan) -> None:
+        self.upstream = str(upstream)
+        self.listen_path = Path(listen_path)
+        self.plan = plan
+        self.counters = {
+            "connections": 0, "delay": 0, "drop": 0,
+            "truncate": 0, "garbage": 0,
+        }
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener = None
+        self._accept_thread = None
+        self._relays = []
+
+    @property
+    def url(self) -> str:
+        return f"repro+unix://{self.listen_path}"
+
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(
+                count for kind, count in self.counters.items()
+                if kind != "connections"
+            )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.listen_path))
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for thread in list(self._relays):
+            thread.join(timeout=5)
+        try:
+            self.listen_path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- relaying ----------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        conn_seq = 0
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn_seq += 1
+            with self._lock:
+                self.counters["connections"] += 1
+            thread = threading.Thread(
+                target=self._relay_connection,
+                args=(client, conn_seq),
+                name=f"chaos-relay-{conn_seq}",
+                daemon=True,
+            )
+            thread.start()
+            self._relays.append(thread)
+
+    def _relay_connection(self, client, conn_seq: int) -> None:
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            server.connect(self.upstream)
+        except OSError:
+            # Upstream daemon down: the client sees exactly what a
+            # direct connection would -- nothing listening.
+            client.close()
+            server.close()
+            return
+        closing = threading.Event()
+        pumps = [
+            threading.Thread(
+                target=self._pump,
+                args=(client, server, conn_seq, "c2s", closing),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._pump,
+                args=(server, client, conn_seq, "s2c", closing),
+                daemon=True,
+            ),
+        ]
+        for pump in pumps:
+            pump.start()
+        for pump in pumps:
+            pump.join()
+        for sock in (client, server):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(self, source, sink, conn_seq, direction, closing) -> None:
+        rng = random.Random(f"{self.plan.seed}:{conn_seq}:{direction}")
+        frame_index = 0
+        while not closing.is_set():
+            frame = self._read_frame_bytes(source)
+            if frame is None:
+                break
+            fault = self._choose_fault(rng)
+            if fault == "garbage" and direction == "s2c" \
+                    and frame_index == 0:
+                # The handshake frame: garbling it turns a transient
+                # transport fault into a permanent "foreign listener"
+                # verdict.  Demote to a plain connection drop.
+                fault = "drop"
+            frame_index += 1
+            if fault is not None:
+                with self._lock:
+                    self.counters[fault] += 1
+            if fault == "drop":
+                break
+            if fault == "truncate" and len(frame) > _HEADER.size:
+                try:
+                    sink.sendall(frame[: _HEADER.size + 1])
+                except OSError:
+                    pass
+                break
+            if fault == "garbage":
+                body_len = len(frame) - _HEADER.size
+                frame = frame[: _HEADER.size] + bytes(
+                    rng.randrange(256) for _ in range(body_len)
+                )
+            elif fault == "delay":
+                time.sleep(self.plan.delay_seconds)
+            try:
+                sink.sendall(frame)
+            except OSError:
+                break
+        closing.set()
+        for sock in (source, sink):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def _choose_fault(self, rng):
+        roll = rng.random()
+        threshold = 0.0
+        for kind, rate in (
+            ("drop", self.plan.drop_rate),
+            ("truncate", self.plan.truncate_rate),
+            ("garbage", self.plan.garbage_rate),
+            ("delay", self.plan.delay_rate),
+        ):
+            threshold += rate
+            if roll < threshold:
+                return kind
+        return None
+
+    @staticmethod
+    def _read_frame_bytes(source):
+        header = ChaosProxy._recv_exact(source, _HEADER.size)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        body = ChaosProxy._recv_exact(source, length)
+        if body is None:
+            return None
+        return header + body
+
+    @staticmethod
+    def _recv_exact(source, count):
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = source.recv(min(remaining, 65536))
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
+class ServeDaemon:
+    """``repro serve`` as a killable subprocess.
+
+    :meth:`start` blocks until the daemon answers a ping;
+    :meth:`kill` SIGKILLs it (the fault a graceful shutdown can't
+    model); :meth:`stop` shuts it down politely.  Restart by calling
+    :meth:`start` again on the same instance.
+    """
+
+    def __init__(self, store_path, socket_path, repo_root=None) -> None:
+        self.store_path = str(store_path)
+        self.socket_path = Path(socket_path)
+        root = Path(repo_root) if repo_root is not None \
+            else Path(__file__).resolve().parents[2]
+        self.cwd = str(root)
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.env = env
+        self.process = None
+
+    @property
+    def url(self) -> str:
+        return f"repro+unix://{self.socket_path}"
+
+    def start(self, wait_seconds: float = 20.0) -> "ServeDaemon":
+        from repro.store.resilience import RetryPolicy
+        from repro.store.service import ServiceStore
+
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", self.store_path,
+             "--socket", str(self.socket_path)],
+            cwd=self.cwd,
+            env=self.env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + wait_seconds
+        last_error = None
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"serve daemon exited rc={self.process.returncode}"
+                    " before answering"
+                )
+            client = ServiceStore(
+                self.url, retry=RetryPolicy.no_retry(), timeout=2.0
+            )
+            try:
+                client.ping()
+                return self
+            except Exception as error:  # noqa: BLE001 - poll loop
+                last_error = error
+                time.sleep(0.05)
+            finally:
+                client.close()
+        raise RuntimeError(f"serve daemon never came up: {last_error}")
+
+    def kill(self) -> None:
+        """SIGKILL: no WAL checkpoint, no socket unlink, no goodbyes."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+            self.process.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.process is None or self.process.poll() is not None:
+            return
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
