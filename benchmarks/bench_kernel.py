@@ -115,6 +115,13 @@ SIZE_SCALE_LINEAR = 256
 #: regressions on slow shared runners.
 COLD_WALL_CLOCK_CEILING = 10.0
 
+#: Acceptance ceiling of the telemetry layer: the instrumented serial
+#: Table 3 matrix (live registry + tracer) must stay within 5% of the
+#: uninstrumented run.  Both sides run on the same machine back to
+#: back, so the ratio does not flake with runner speed; best-of-5
+#: keeps scheduler noise out of the numerator.
+TELEMETRY_OVERHEAD_CEILING = 1.05
+
 #: Acceptance floor: ``repro campaign --jobs 4`` vs the sequential run
 #: of the same spec.  Only meaningful with real cores to fan out to,
 #: so the guard skips below FANOUT_MIN_CPUS (CI's ubuntu runners have
@@ -208,6 +215,15 @@ def measure_engine_scaling(size, faults, repeats=1):
             " the ratio is trajectory data without a floor"
         ),
     }
+
+
+def run_kernel_cold_instrumented(faults, size=SIZE):
+    """The cold serial matrix with a live metrics registry + tracer."""
+    from repro.telemetry import Telemetry
+
+    return SimulationKernel(
+        backend="serial", telemetry=Telemetry()
+    ).detection_matrix(TESTS, faults, size)
 
 
 def make_warm_kernel(faults):
@@ -662,6 +678,29 @@ def test_fanout_record_marks_unenforced_guard():
     assert "not" in skipped["skipped_reason"]
 
 
+def test_telemetry_overhead_guard():
+    """Acceptance criterion of the telemetry layer: instrumenting the
+    serial Table 3 matrix costs at most 5% wall-clock, and the
+    verdicts stay byte-identical."""
+    faults = table3_faults()
+    plain_seconds, plain_matrix = _best_of(
+        5, run_kernel_cold, faults
+    )
+    instrumented_seconds, instrumented_matrix = _best_of(
+        5, run_kernel_cold_instrumented, faults
+    )
+    assert instrumented_matrix == plain_matrix, (
+        "telemetry changed the verdicts"
+    )
+    overhead = instrumented_seconds / plain_seconds
+    assert overhead <= TELEMETRY_OVERHEAD_CEILING, (
+        f"instrumented serial cold run is {overhead:.3f}x the"
+        f" uninstrumented one ({instrumented_seconds * 1e3:.2f} ms vs"
+        f" {plain_seconds * 1e3:.2f} ms; ceiling"
+        f" {TELEMETRY_OVERHEAD_CEILING}x)"
+    )
+
+
 def test_cold_wall_clock_guard():
     """Wall-clock regression guard for the uncached kernel path."""
     seconds, _ = _best_of(2, run_kernel_cold, table3_faults())
@@ -683,6 +722,9 @@ def collect_benchmarks():
     packed_seconds, _ = _best_of(3, run_kernel_cold, faults, "bitparallel")
     kernel = make_warm_kernel(faults)
     warm_seconds, _ = _best_of(3, run_kernel_warm, kernel, faults)
+    instrumented_seconds, _ = _best_of(
+        3, run_kernel_cold_instrumented, faults
+    )
     serial_large_seconds, _ = _best_of(
         1, run_kernel_cold, faults, size=SIZE_LARGE
     )
@@ -738,6 +780,7 @@ def collect_benchmarks():
             "required_campaign_fanout_speedup": REQUIRED_FANOUT_SPEEDUP,
             "campaign_fanout_min_cpus": FANOUT_MIN_CPUS,
             "cold_wall_clock_ceiling_seconds": COLD_WALL_CLOCK_CEILING,
+            "telemetry_overhead_ceiling": TELEMETRY_OVERHEAD_CEILING,
         },
         "workloads": {
             "table3_size3": {
@@ -757,6 +800,20 @@ def collect_benchmarks():
                     "cold_bitparallel": legacy_seconds / packed_seconds,
                     "warm_cache": legacy_seconds / warm_seconds,
                 },
+            },
+            "table3_size3_telemetry": {
+                "tests": len(TESTS),
+                "fault_cases": len(faults.instances(SIZE)),
+                "size": SIZE,
+                "backend": "serial",
+                "seconds": {
+                    "cold_serial": cold_seconds,
+                    "cold_serial_instrumented": instrumented_seconds,
+                },
+                "telemetry_overhead_ratio": (
+                    instrumented_seconds / cold_seconds
+                ),
+                "guard_enforced": True,
             },
             "table3_size8": {
                 "tests": len(TESTS),
@@ -926,6 +983,12 @@ def main():
             speedup = record["tiled_speedup_vs_bitparallel"] \
                 if key == "bitparallel_np" else 1.0
             print(f"  {label:28s} {seconds * 1e3:9.2f} ms   {speedup:7.1f}x")
+    telemetry = payload["workloads"]["table3_size3_telemetry"]
+    print(
+        f"telemetry overhead (serial cold, live registry + tracer):"
+        f" {telemetry['telemetry_overhead_ratio']:.3f}x"
+        f" (ceiling {TELEMETRY_OVERHEAD_CEILING}x)"
+    )
     store = payload["workloads"]["table3_size3_store"]
     print(
         f"cross-process --store warm start ({store['tests']} tests x"

@@ -11,6 +11,11 @@ Examples::
     python -m repro campaign examples/campaign_table3.json --jobs 4 \\
         --store repro+unix://verdict.sock
     python -m repro store stats --socket verdict.sock
+    python -m repro campaign examples/campaign_table3.json \\
+        --metrics metrics.json --trace spans.jsonl
+    python -m repro report metrics.json
+    python -m repro report diff baseline.json current.json \\
+        --fail-on-regression 0.01
     python -m repro catalog
     python -m repro models
     python -m repro table3
@@ -52,12 +57,39 @@ def _fault_list(names: List[str]) -> FaultList:
 DEFAULT_BACKEND = "bitparallel"
 
 
-def _kernel(args: argparse.Namespace) -> SimulationKernel:
+def _telemetry_for(args: argparse.Namespace):
+    """A live Telemetry handle when --metrics/--trace asked for one.
+
+    ``None`` otherwise, so uninstrumented invocations keep the shared
+    no-op telemetry and its zero-cost guarantee.
+    """
+    if (getattr(args, "metrics", None) is None
+            and getattr(args, "trace", None) is None):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry()
+
+
+def _write_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Flush --metrics / --trace artifacts, if they were requested."""
+    if telemetry is None:
+        return
+    from .telemetry import write_snapshot, write_span_log
+
+    if getattr(args, "metrics", None):
+        write_snapshot(telemetry.snapshot(), args.metrics)
+    if getattr(args, "trace", None):
+        write_span_log(telemetry.span_trees(), args.trace)
+
+
+def _kernel(args: argparse.Namespace, telemetry=None) -> SimulationKernel:
     """The simulation kernel for one CLI invocation."""
     return SimulationKernel(
         backend=getattr(args, "backend", DEFAULT_BACKEND),
         store=getattr(args, "store", None),
         store_readonly=getattr(args, "store_readonly", False),
+        telemetry=telemetry,
     )
 
 
@@ -67,6 +99,7 @@ def _maybe_print_stats(args: argparse.Namespace, kernel: SimulationKernel) -> No
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_for(args)
     config = GeneratorConfig(
         equivalence_enumeration=not args.no_equivalence,
         prefer_uniform_start=not args.no_start_constraint,
@@ -76,6 +109,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         backend=args.backend,
         store_path=args.store,
         store_readonly=args.store_readonly,
+        telemetry=telemetry,
     )
     generator = MarchTestGenerator(config)
     try:
@@ -83,20 +117,24 @@ def cmd_generate(args: argparse.Namespace) -> int:
         print(report.summary())
         _maybe_print_stats(args, generator.kernel)
     finally:
+        # Snapshot after close so checkpoint timings land in it.
         generator.kernel.close()
+        _write_telemetry(args, telemetry)
     return 0 if report.verified else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
-    kernel = _kernel(args)
+    telemetry = _telemetry_for(args)
+    kernel = _kernel(args, telemetry)
     try:
         report = coverage_report(test, faults, size=args.size, kernel=kernel)
         print(report)
         _maybe_print_stats(args, kernel)
     finally:
         kernel.close()
+        _write_telemetry(args, telemetry)
     return 0 if all(m.complete for m in report.models) else 1
 
 
@@ -147,7 +185,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
-    kernel = _kernel(args)
+    telemetry = _telemetry_for(args)
+    kernel = _kernel(args, telemetry)
     try:
         report = coverage_report(test, faults, size=args.size, kernel=kernel)
         print(report)
@@ -166,6 +205,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         _maybe_print_stats(args, kernel)
     finally:
         kernel.close()
+        _write_telemetry(args, telemetry)
     return 0
 
 
@@ -174,7 +214,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
 
     test = _resolve_test(args.test)
     faults = _fault_list(args.faults)
-    kernel = _kernel(args)
+    telemetry = _telemetry_for(args)
+    kernel = _kernel(args, telemetry)
     try:
         dictionary = build_dictionary_for(
             test, faults, args.size, kernel=kernel
@@ -188,16 +229,20 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         _maybe_print_stats(args, kernel)
     finally:
         kernel.close()
+        _write_telemetry(args, telemetry)
     return 0 if not undetected else 1
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
     from .store.campaign import CampaignSpec, run_campaign, summarize, \
         write_manifest
 
     spec = CampaignSpec.from_file(args.spec)
 
     pipe_gone = False
+    started = time.monotonic()
 
     def live_progress(done: int, total: int, record: dict) -> None:
         # A consumer cutting the pipe short (| head) must cost the
@@ -215,11 +260,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f" {record['seconds'] * 1e3:8.1f} ms"
             if record["seconds"] is not None else ""
         )
+        elapsed = time.monotonic() - started
+        rate = done / elapsed if elapsed > 0 else 0.0
         try:
             print(
                 f"[{done}/{total}] {record['backend']}"
                 f" @ size {record['size']}"
-                f" {record['test']}{timing} {status}",
+                f" {record['test']}{timing} {status}"
+                f" [{elapsed:.1f}s, {rate:.1f} jobs/s]",
                 flush=True,
             )
         except BrokenPipeError:
@@ -258,6 +306,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     # Persist the artifact before printing: a consumer cutting the
     # pipe short (| head) must not cost the manifest.
     path = write_manifest(manifest, args.manifest)
+    if args.metrics or args.trace:
+        # Campaign jobs always run instrumented; the artifacts are
+        # derived from the manifest rather than a process-local
+        # registry so --jobs N sees every worker's numbers.
+        from .telemetry import write_snapshot, write_span_log
+
+        if args.metrics:
+            write_snapshot(
+                (manifest.get("telemetry") or {}).get("metrics", {}),
+                args.metrics,
+            )
+        if args.trace:
+            trees = [
+                span
+                for record in manifest["jobs"]
+                if record.get("telemetry")
+                for span in record["telemetry"]["spans"]
+            ]
+            write_span_log(trees, args.trace)
     if not pipe_gone:
         try:
             print(summarize(manifest))
@@ -265,6 +332,70 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         except BrokenPipeError:
             pass
     return 1 if manifest["totals"]["failed"] else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+    import os
+
+    from .telemetry.report import (
+        ReportError,
+        diff_payloads,
+        load_payload,
+        render_diff,
+        render_report,
+        report_json,
+    )
+
+    def emit(text: str) -> bool:
+        # Reports are long tables; `| head` must cut them quietly,
+        # not with a traceback (same contract as campaign progress).
+        try:
+            print(text, flush=True)
+            return True
+        except BrokenPipeError:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return False
+
+    try:
+        if args.paths and args.paths[0] == "diff":
+            if len(args.paths) != 3:
+                raise ReportError(
+                    "repro report diff needs exactly two files: diff A B"
+                )
+            kind_a, payload_a = load_payload(args.paths[1])
+            kind_b, payload_b = load_payload(args.paths[2])
+            threshold = (
+                args.fail_on_regression
+                if args.fail_on_regression is not None else 0.0
+            )
+            diff = diff_payloads(
+                kind_a, payload_a, kind_b, payload_b, threshold
+            )
+            if args.json:
+                emit(json_module.dumps(diff, indent=2, sort_keys=True))
+            else:
+                emit(render_diff(diff))
+            # Informational by default; only --fail-on-regression turns
+            # a regression into a failing exit code (CI gate).
+            if args.fail_on_regression is not None and diff["regressions"]:
+                return 1
+            return 0
+        if len(args.paths) != 1:
+            raise ReportError(
+                "repro report renders one file (or: repro report diff A B)"
+            )
+        kind, payload = load_payload(args.paths[0])
+        if args.json:
+            emit(json_module.dumps(
+                report_json(kind, payload), indent=2, sort_keys=True,
+            ))
+        else:
+            emit(render_report(kind, payload))
+        return 0
+    except ReportError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -340,7 +471,9 @@ def cmd_store(args: argparse.Namespace) -> int:
             retry=RetryPolicy.no_retry(),
         )
         try:
-            payload = client.ping()
+            # health, not ping: same liveness answer plus row totals
+            # and service-time figures, still one round trip.
+            payload = client.health()
         except StoreError as error:
             if args.json:
                 print(json_module.dumps(
@@ -353,10 +486,12 @@ def cmd_store(args: argparse.Namespace) -> int:
             return 1
         finally:
             client.close()
+        rows = payload.get("rows") or {}
         emit(payload, (
             f"verdict service on {args.socket}: pid {payload['pid']},"
             f" protocol {payload['protocol']},"
             f" store {payload['store']}"
+            f" ({rows.get('rows', 0)} rows)"
         ))
         return 0
 
@@ -366,6 +501,10 @@ def cmd_store(args: argparse.Namespace) -> int:
 
             with ServiceStore(args.socket) as client:
                 payload = client.server_stats()
+                # Same connection: the metrics registry rides along so
+                # scripts get counters + histograms without a second
+                # client.
+                payload["metrics"] = client.metrics()
             rows = payload["row_stats"]
             store_stats = payload["store_stats"]
             clients = payload["clients"]
@@ -517,6 +656,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="open the store for lookups only (no verdict writes)",
         )
 
+    def add_telemetry_options(
+        command_parser: argparse.ArgumentParser,
+    ) -> None:
+        command_parser.add_argument(
+            "--metrics", metavar="PATH", default=None,
+            help="write a JSON metrics snapshot (counters, gauges,"
+                 " latency histograms) on exit; render or diff it with"
+                 " `repro report`",
+        )
+        command_parser.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="write the span trace as JSON-lines (one span per"
+                 " line, with depth/parent/seconds) on exit",
+        )
+
     def add_kernel_options(command_parser: argparse.ArgumentParser) -> None:
         command_parser.add_argument(
             "--backend", choices=sorted(BACKENDS), default=DEFAULT_BACKEND,
@@ -531,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
                  " the store's second-tier counters (with --store) and"
                  " the per-backend task routing breakdown",
         )
+        add_telemetry_options(command_parser)
         add_store_options(command_parser)
 
     gen = sub.add_parser("generate", help="generate a March test")
@@ -617,8 +772,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail a job outright when its retry policy is exhausted"
              " instead of degrading to a local spill shard",
     )
+    add_telemetry_options(camp)
     add_store_options(camp)
     camp.set_defaults(fn=cmd_campaign)
+
+    report = sub.add_parser(
+        "report",
+        help="render a metrics snapshot, campaign manifest or kernel"
+             " bench record as a table, or `report diff A B` to compare"
+             " two for coverage/timing regressions",
+    )
+    report.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="one file to render, or: diff OLD NEW",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable JSON report instead of text",
+    )
+    report.add_argument(
+        "--fail-on-regression", type=float, default=None, metavar="THRESH",
+        help="with diff: exit 1 when coverage drops by more than THRESH"
+             " (absolute fraction) or timings regress by more than"
+             " THRESH (relative ratio); without this flag the diff is"
+             " informational and always exits 0",
+    )
+    report.set_defaults(fn=cmd_report)
 
     serve = sub.add_parser(
         "serve",
@@ -708,8 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_ping = store_sub.add_parser(
         "ping",
-        help="probe verdict-service liveness: exit 0 with the handshake"
-             " payload, exit 1 if nothing answers (no store is opened)",
+        help="probe verdict-service liveness: exit 0 with the health"
+             " payload (identity, row totals, service times), exit 1 if"
+             " nothing answers (no store file is opened client-side)",
     )
     store_ping.add_argument(
         "--socket", metavar="SOCK", required=True,

@@ -79,6 +79,11 @@ class GeneratorConfig:
         disables persistence.
     store_readonly:
         Open the store for lookups only (no verdict writes).
+    telemetry:
+        A live :class:`repro.telemetry.Telemetry` handle threaded into
+        the kernel (metrics registry + span tracer, what the CLI's
+        ``--metrics``/``--trace`` flags create); ``None`` (default)
+        keeps the zero-cost no-op telemetry.
     """
 
     cells: Tuple[str, ...] = ("i", "j")
@@ -100,6 +105,9 @@ class GeneratorConfig:
     sim_cache_size: int = 1_000_000
     store_path: Optional[str] = None
     store_readonly: bool = False
+    # Typed loosely (Any-ish via Optional[object]) on purpose: core
+    # must stay importable without pulling repro.telemetry in here.
+    telemetry: Optional[object] = None
 
     def __post_init__(self) -> None:
         # Imported lazily: core must stay importable without pulling

@@ -45,6 +45,7 @@ from ..simulator.tilengine import (
     numpy_available,
     require_numpy,
 )
+from ..telemetry import TELEMETRY_OFF
 from .pool import MemoryPool
 
 
@@ -95,6 +96,12 @@ class ExecutionBackend:
         #: routes part of a batch to a fallback.  ``--sim-stats`` prints
         #: this so routing decisions are observable.
         self.served: Dict[str, int] = {}
+        #: Telemetry handle, no-op by default; the owning kernel swaps
+        #: in its live handle and samples ``served`` as the
+        #: ``repro.backend.served`` route/fallback counters, so this
+        #: slot only carries instruments ``served`` cannot express
+        #: (fork chunk counts, per-batch timings).
+        self.telemetry = TELEMETRY_OFF
 
     def count_served(self, strategy: str, tasks: int) -> None:
         if tasks:
@@ -405,6 +412,10 @@ class BitParallelNumpyBackend(ExecutionBackend):
     ) -> Tuple[List[bool], str]:
         if len(simulations) == 1:
             return simulations[0].worst_case_verdicts(test), self.name
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "repro.backend.chunks", backend=self.name
+            ).inc(len(simulations))
         global _TILE_FORK
         context = multiprocessing.get_context("fork")
         with _TILE_LOCK:

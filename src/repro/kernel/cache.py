@@ -15,8 +15,10 @@ grow without limit over a long-lived kernel.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
+
+from ..telemetry import Counter
 
 
 @dataclass(frozen=True)
@@ -50,15 +52,79 @@ class SimKey:
     domain: str = "sp"
 
 
-@dataclass
 class KernelStats:
-    """Hit/miss counters of a kernel's fault-dictionary cache."""
+    """Hit/miss counters of a kernel's fault-dictionary cache.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    batches: int = 0
-    stores: int = field(default=0, repr=False)
+    The historical attribute surface (``stats.hits`` reads *and*
+    ``stats.hits = 0`` writes) is preserved as properties, but the
+    storage underneath is telemetry :class:`Counter` instruments so a
+    kernel with a metrics registry attached can adopt the live
+    counters as its ``repro.kernel.cache.*`` series -- one set of
+    numbers, two views, no double accounting.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "_batches", "_stores")
+
+    _FIELDS = ("hits", "misses", "evictions", "batches", "stores")
+
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        batches: int = 0,
+        stores: int = 0,
+    ) -> None:
+        self._hits = Counter(hits)
+        self._misses = Counter(misses)
+        self._evictions = Counter(evictions)
+        self._batches = Counter(batches)
+        self._stores = Counter(stores)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.value = value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.value = value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @batches.setter
+    def batches(self, value: int) -> None:
+        self._batches.value = value
+
+    @property
+    def stores(self) -> int:
+        return self._stores.value
+
+    @stores.setter
+    def stores(self, value: int) -> None:
+        self._stores.value = value
+
+    def counters(self) -> Dict[str, Counter]:
+        """The live instruments, keyed by field name, for registry
+        adoption (:meth:`MetricsRegistry.adopt`)."""
+        return {name: getattr(self, f"_{name}") for name in self._FIELDS}
 
     @property
     def lookups(self) -> int:
@@ -71,6 +137,21 @@ class KernelStats:
     def reset(self) -> None:
         self.hits = self.misses = self.evictions = 0
         self.batches = self.stores = 0
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, KernelStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self._FIELDS
+        )
+
+    def __repr__(self) -> str:
+        # `stores` stays out of the repr, matching the dataclass era.
+        return (
+            f"KernelStats(hits={self.hits}, misses={self.misses},"
+            f" evictions={self.evictions}, batches={self.batches})"
+        )
 
     def __str__(self) -> str:
         return (

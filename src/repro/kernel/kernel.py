@@ -49,6 +49,7 @@ from ..march.test import MarchTest
 from ..memory.array import MemoryArray
 from ..simulator.engine import MarchRun, is_well_formed, run_march
 from ..store import FaultDictionaryStore, TieredCache, resolve_store
+from ..telemetry import TELEMETRY_OFF, Telemetry
 from .backends import (
     DetectTask,
     ExecutionBackend,
@@ -108,6 +109,15 @@ class SimulationKernel:
         A :class:`~repro.store.resilience.RetryPolicy` governing how
         a service-URL store rides out transient daemon failures;
         ignored for file stores and ready instances.
+    telemetry:
+        A live :class:`~repro.telemetry.Telemetry` handle, or ``None``
+        (default) for the zero-cost no-op.  With a live handle the
+        kernel adopts its cache counters into the registry as
+        ``repro.kernel.cache.*``, samples backend routing and store
+        counters as collectors, and records one span plus one
+        ``repro.backend.detect.seconds`` observation per backend
+        batch.  Stats attributes (``kernel.stats`` etc.) behave
+        identically either way.
 
     >>> from repro.march.catalog import MATS
     >>> from repro.faults import FaultList
@@ -126,7 +136,9 @@ class SimulationKernel:
         store: Union[str, FaultDictionaryStore, None] = None,
         store_readonly: bool = False,
         store_retry: Optional[Any] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
+        self.telemetry = telemetry if telemetry is not None else TELEMETRY_OFF
         self.pool = pool or MemoryPool()
         self.backend = resolve_backend(backend, self.pool)
         # A store the kernel opened from a path or service URL is the
@@ -138,10 +150,47 @@ class SimulationKernel:
         )
         memory = FaultDictionaryCache(cache_size)
         self.cache: Union[FaultDictionaryCache, TieredCache] = (
-            TieredCache(memory, self.store)
+            TieredCache(memory, self.store, telemetry=self.telemetry)
             if self.store is not None
             else memory
         )
+        if self.telemetry.enabled:
+            self._attach_telemetry()
+
+    def _attach_telemetry(self) -> None:
+        """Wire every tier's counters into the live metrics registry.
+
+        Cache counters are *adopted* (the registry reads the same
+        Counter objects ``kernel.stats`` mutates -- one set of numbers,
+        no double accounting); backend routing and store counters are
+        *collectors* sampled at snapshot time, because their label sets
+        (strategies) only appear as the run unfolds.  The backend also
+        gets the live handle so it can record what ``served`` cannot
+        express (fork chunk counts).
+        """
+        registry = self.telemetry.registry
+        for field, counter in self.stats.counters().items():
+            registry.adopt(
+                f"repro.kernel.cache.{field}", counter, tier="memory"
+            )
+        backend = self.backend
+        backend.telemetry = self.telemetry
+        registry.collector(
+            "repro.backend.served",
+            lambda: [
+                ({"backend": backend.name, "strategy": strategy}, count)
+                for strategy, count in sorted(backend.served.items())
+            ],
+        )
+        if self.store is not None:
+            stats = self.store.stats
+            for field in ("hits", "misses", "writes", "skipped_writes"):
+                registry.collector(
+                    f"repro.store.{field}",
+                    lambda field=field: [
+                        ({"tier": "store"}, getattr(stats, field))
+                    ],
+                )
 
     @classmethod
     def from_config(cls, config) -> "SimulationKernel":
@@ -152,6 +201,7 @@ class SimulationKernel:
             store=getattr(config, "store_path", None),
             store_readonly=getattr(config, "store_readonly", False),
             store_retry=getattr(config, "store_retry", None),
+            telemetry=getattr(config, "telemetry", None),
         )
 
     # -- introspection ----------------------------------------------------------
@@ -161,23 +211,27 @@ class SimulationKernel:
         """Hit/miss/eviction counters of the fault dictionary."""
         return self.cache.stats
 
-    def describe_stats(self) -> str:
-        """Cache counters, store counters, backend routing breakdown.
+    #: Canonical tier order of :meth:`describe_stats`: memory cache
+    #: first, then the persistent store, its degradation notice, then
+    #: backend routing -- the same sequence whether or not a store (or
+    #: a degraded store) is attached, so ``--sim-stats`` output from
+    #: any two kernels diffs segment-by-segment.
+    STATS_TIER_ORDER = ("cache", "store", "resilience", "backend")
 
-        The routing part reports how many cache-miss tasks each
-        execution strategy actually served (e.g. ``bitparallel`` vs its
-        scalar ``serial`` fallback); with a persistent store attached,
-        its second-tier hit/miss/write counters appear too, so
-        ``--sim-stats`` makes every dictionary tier and every dispatch
-        decision observable rather than a black box.
+    def stats_segments(self) -> List[Tuple[str, str]]:
+        """``(tier, text)`` stat segments in canonical tier order.
+
+        Tiers that do not apply (no store attached, store healthy) are
+        simply absent; present tiers always appear in
+        :data:`STATS_TIER_ORDER`.
         """
-        parts = [str(self.stats)]
+        segments: Dict[str, str] = {"cache": str(self.stats)}
         if self.store is not None:
-            parts.append(self.store.describe())
+            segments["store"] = self.store.describe()
             prober = getattr(self.cache, "resilience", None)
             report = prober() if callable(prober) else None
             if report and report.get("degraded"):
-                parts.append(
+                segments["resilience"] = (
                     f"DEGRADED after {report['attempts']} retr"
                     f"{'y' if report['attempts'] == 1 else 'ies'}"
                     f" (spill {report.get('spill')})"
@@ -186,11 +240,28 @@ class SimulationKernel:
         routing = ", ".join(
             f"{name}: {count}" for name, count in sorted(served.items())
         )
-        parts.append(
+        segments["backend"] = (
             f"backend [{self.backend.name}]"
             f" served {routing if routing else 'no tasks'}"
         )
-        return "; ".join(parts)
+        return [
+            (tier, segments[tier])
+            for tier in self.STATS_TIER_ORDER
+            if tier in segments
+        ]
+
+    def describe_stats(self) -> str:
+        """Cache counters, store counters, backend routing breakdown.
+
+        The routing part reports how many cache-miss tasks each
+        execution strategy actually served (e.g. ``bitparallel`` vs its
+        scalar ``serial`` fallback); with a persistent store attached,
+        its second-tier hit/miss/write counters appear too, so
+        ``--sim-stats`` makes every dictionary tier and every dispatch
+        decision observable rather than a black box.  Segments follow
+        :data:`STATS_TIER_ORDER` so the output is stably diffable.
+        """
+        return "; ".join(text for _, text in self.stats_segments())
 
     def clear(self) -> None:
         """Drop every in-memory verdict and reset ALL the stats.
@@ -242,9 +313,23 @@ class SimulationKernel:
         key = SimKey(canonical_signature(test), case.name, size)
         verdict = self.cache.get(key)
         if verdict is None:
-            verdict = self.backend.detect_batch(
-                [DetectTask(test, case, size)]
-            )[0]
+            task = [DetectTask(test, case, size)]
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                # A batch of one, so single-probe consumers (the
+                # generator's verifier) show up in the same span trace
+                # and latency histogram as the batched APIs.
+                with telemetry.span(
+                    "kernel.detect",
+                    backend=self.backend.name, case=case.name, size=size,
+                ) as span:
+                    verdict = self.backend.detect_batch(task)[0]
+                telemetry.histogram(
+                    "repro.backend.detect.seconds",
+                    backend=self.backend.name,
+                ).observe(getattr(span, "seconds", None) or 0.0)
+            else:
+                verdict = self.backend.detect_batch(task)[0]
             self.cache.put(key, verdict)
         return verdict
 
@@ -380,7 +465,21 @@ class SimulationKernel:
                 pending_keys.append(key)
         if pending:
             self.stats.batches += 1
-            results = self.backend.detect_batch(pending)
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                with telemetry.span(
+                    "kernel.detect_batch",
+                    backend=self.backend.name,
+                    tasks=len(pending),
+                    size=size,
+                ) as span:
+                    results = self.backend.detect_batch(pending)
+                telemetry.histogram(
+                    "repro.backend.detect.seconds",
+                    backend=self.backend.name,
+                ).observe(getattr(span, "seconds", None) or 0.0)
+            else:
+                results = self.backend.detect_batch(pending)
             self.cache.put_many(list(zip(pending_keys, results)))
             for key, verdict in zip(pending_keys, results):
                 verdicts[(key.signature, key.case)] = verdict

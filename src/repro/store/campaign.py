@@ -99,6 +99,7 @@ from ..faults.library import MODEL_REGISTRY
 from ..kernel import SimulationKernel, validate_backend_name
 from ..march.catalog import by_name
 from ..march.test import MarchTest, parse_march
+from ..telemetry import Telemetry, merge_snapshots
 from .resilience import DegradingStore, RetryPolicy
 from .service import ServiceStore, is_service_url, service_socket_path
 from .store import FaultDictionaryStore, StoreError
@@ -107,8 +108,11 @@ from .store import FaultDictionaryStore, StoreError
 #: (test, backend, size), per-job ``test``/``error`` fields, the
 #: ``parallel`` execution block and ``totals["failed"]``.  v3: the
 #: top-level ``resilience`` block, per-job ``degraded``/``attempts``/
-#: ``spill`` and ``totals["degraded"]``.
-MANIFEST_SCHEMA = 3
+#: ``spill`` and ``totals["degraded"]``.  v4: per-job ``telemetry``
+#: blocks (metrics snapshot + span trees) and the top-level
+#: ``telemetry`` merge -- all run-dependent, all stripped by
+#: :func:`normalized_manifest`.
+MANIFEST_SCHEMA = 4
 
 DEFAULT_MANIFEST_NAME = "campaign_manifest.json"
 
@@ -285,10 +289,16 @@ def _open_job_store(request: _JobRequest) -> Optional[Any]:
 def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
     started = time.perf_counter()
     store_obj = _open_job_store(request)
+    # Every job runs instrumented: the per-batch cost is microseconds
+    # against a multi-millisecond job, and it means --metrics/--trace
+    # need no extra worker plumbing -- each record carries its own
+    # snapshot and span tree, merged campaign-wide by run_campaign.
+    telemetry = Telemetry()
     kernel = SimulationKernel(
         backend=request.backend,
         store=store_obj if store_obj is not None else request.store_path,
         store_readonly=request.store_readonly,
+        telemetry=telemetry,
     )
     # try/finally around *everything* after kernel construction: a job
     # that blows up mid-simulation must still checkpoint and close its
@@ -328,6 +338,10 @@ def _simulate_job(request: _JobRequest) -> Dict[str, Any]:
                 "writes": kernel.store.stats.writes,
                 "skipped_writes": kernel.store.stats.skipped_writes,
             }
+        record["telemetry"] = {
+            "metrics": telemetry.snapshot(),
+            "spans": telemetry.span_trees(),
+        }
         record["result"] = {
             "test": test.name or str(test),
             "notation": str(test),
@@ -379,6 +393,7 @@ def _error_record(request: _JobRequest, error: BaseException) -> Dict[str, Any]:
         "spill": None,
         "cache": None,
         "served": {},
+        "telemetry": None,
         "result": None,
     }
 
@@ -616,6 +631,18 @@ def run_campaign(
             "degrade": degrade_active,
             "spill_merge": spill_merge,
         },
+        # The campaign-wide registry view: every job's snapshot folded
+        # into one (counters add, gauges max, histograms add
+        # bucket-wise).  By construction its route counters reconcile
+        # with totals["verdicts_simulated"] and its cache counters
+        # with the per-job cache blocks.
+        "telemetry": {
+            "metrics": merge_snapshots(
+                record["telemetry"]["metrics"]
+                for record in ordered
+                if record.get("telemetry")
+            ),
+        },
         "jobs": job_rows,
         "results": results,
         "totals": {
@@ -766,11 +793,15 @@ def write_manifest(
 #: (retries taken, degradations, spill merges: infrastructure faults
 #: change *where* verdicts land, never *what* they are, so a run
 #: through a chaos proxy must normalize identically to a direct one).
+#: The telemetry blocks are timing observations over those same
+#: scheduling-dependent counters, so they normalize away with them.
 _RUN_DEPENDENT_TOP = (
     "generated_unix", "store", "store_readonly", "parallel", "resilience",
+    "telemetry",
 )
 _RUN_DEPENDENT_JOB = (
     "seconds", "cache", "served", "store", "degraded", "attempts", "spill",
+    "telemetry",
 )
 _RUN_DEPENDENT_TOTALS = (
     "seconds", "verdicts_simulated", "verdicts_from_store", "degraded",

@@ -20,6 +20,8 @@ UTF-8 JSON object.  Requests carry an ``"op"`` field::
     {"op": "get_many", "keys": [[signature, case, size, domain], ...]}
     {"op": "put_many", "rows": [[signature, case, size, domain, verdict], ...]}
     {"op": "stats"}
+    {"op": "health"}
+    {"op": "metrics"}
     {"op": "compact", "max_rows": N, "max_age": S, "vacuum": true}
     {"op": "shutdown"}
 
@@ -104,6 +106,7 @@ from typing import (
 )
 
 from ..kernel.cache import SimKey
+from ..telemetry import Telemetry
 from .resilience import (
     RetryExhaustedError,
     RetryPolicy,
@@ -514,10 +517,17 @@ class ServiceStore:
         return {k: v for k, v in response.items() if k != "ok"}
 
     def health(self) -> Dict[str, Any]:
-        """The daemon's liveness report: uptime, connection counts and
-        the resilience counters (idle reaps, checkpoints, errors)."""
+        """The daemon's liveness report: uptime, connection counts,
+        the resilience counters (idle reaps, checkpoints, errors),
+        row population and service-time summary."""
         response = self._request({"op": "health"})
         return {k: v for k, v in response.items() if k != "ok"}
+
+    def metrics(self) -> Dict[str, Any]:
+        """The daemon's full metrics-registry snapshot (op ``metrics``):
+        per-op request counters and service-time histograms, store
+        counters, WAL checkpoint timings, connection gauge."""
+        return self._request({"op": "metrics"})["metrics"]
 
     def merge_from(
         self, source: Union[str, Path]
@@ -659,12 +669,49 @@ class VerdictService:
         #: Resilience counters (under the state lock): idle clients
         #: reaped, background checkpoints run, error answers sent.
         self._counters = {"reaped_idle": 0, "checkpoints": 0, "errors": 0}
+        #: Always-live telemetry: a daemon is a long-running service,
+        #: so per-request counters and service-time histograms cost
+        #: microseconds against socket round trips and buy the
+        #: ``metrics`` op its registry snapshot.  Survives
+        #: stop()/start() cycles (counters are cumulative over the
+        #: object's lifetime, like the resilience counters above).
+        self.telemetry = Telemetry()
         self._state_lock = threading.Lock()
         self._stop = threading.Event()
         self._teardown_lock = threading.Lock()
         self._torn_down = False
         self._lock_fd: Optional[int] = None
         self._owns_socket = False
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Expose the daemon's existing counters through the registry.
+
+        Collectors read ``self`` dynamically (not captured objects), so
+        they survive stop()/start() cycles where the store instance is
+        replaced.  Sampling happens at snapshot time without the state
+        lock: the values are plain ints, and a metrics reader tolerates
+        being one increment behind.
+        """
+        registry = self.telemetry.registry
+        for field in ("reaped_idle", "checkpoints", "errors"):
+            registry.collector(
+                f"repro.service.{field}",
+                lambda field=field: [({}, self._counters[field])],
+            )
+        registry.collector(
+            "repro.service.connections",
+            lambda: [({"state": "active"}, len(self._connections))],
+            kind="gauge",
+        )
+        for field in ("hits", "misses", "writes", "skipped_writes"):
+            registry.collector(
+                f"repro.store.{field}",
+                lambda field=field: (
+                    [({"tier": "store"}, getattr(self.store.stats, field))]
+                    if self.store is not None else []
+                ),
+            )
 
     @property
     def url(self) -> str:
@@ -685,6 +732,8 @@ class VerdictService:
             # dictionary fails the daemon at startup, not the first
             # client.
             self.store = FaultDictionaryStore(self.store_path)
+            # WAL checkpoint timings land in the daemon's registry.
+            self.store.telemetry = self.telemetry
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
                 listener.bind(str(self.socket_path))
@@ -936,7 +985,9 @@ class VerdictService:
                 if request is None:
                     break  # clean disconnect
                 counters["requests"] += 1
+                op_name = str(request.get("op"))
                 stopping = request.get("op") == "shutdown"
+                started = time.monotonic()
                 try:
                     response = self._dispatch(request, counters)
                 except StoreError as error:
@@ -946,9 +997,20 @@ class VerdictService:
                         "ok": False,
                         "error": f"{type(error).__name__}: {error}",
                     }
-                if not response.get("ok"):
-                    with self._state_lock:
+                elapsed = time.monotonic() - started
+                # One state-lock scope for the error counter and the
+                # request instruments, so a concurrent metrics/health
+                # read never sees a timed request without its error
+                # accounted (registry locks are leaves under it).
+                with self._state_lock:
+                    if not response.get("ok"):
                         self._counters["errors"] += 1
+                    self.telemetry.counter(
+                        "repro.service.requests", op=op_name
+                    ).inc()
+                    self.telemetry.histogram(
+                        "repro.service.request.seconds", op=op_name
+                    ).observe(elapsed)
                 try:
                     _send_frame(conn, response)
                 except OSError:
@@ -1056,15 +1118,28 @@ class VerdictService:
                     vacuum=request.get("vacuum", True),
                 ),
             }
+        if op == "metrics":
+            # Full registry snapshot: request counters, service-time
+            # histograms, store/daemon collector samples, checkpoint
+            # timings -- the machine-readable superset of health/stats.
+            return {
+                "ok": True,
+                "service": SERVICE_MAGIC,
+                "protocol": PROTOCOL_VERSION,
+                "metrics": self.telemetry.snapshot(),
+            }
         if op == "shutdown":
             return {"ok": True, "stopping": True}
         return {"ok": False, "error": f"unknown protocol op {op!r}"}
 
     def health_snapshot(self) -> Dict[str, Any]:
-        """The ``health`` op's payload: liveness, not ledger detail.
+        """The ``health`` op's payload: liveness plus row population.
 
-        Cheap by construction -- no row counting, no per-client dump --
-        so monitors can poll it without perturbing a busy daemon.
+        No per-client dump (that stays in ``stats``), but ``rows``
+        carries :meth:`FaultDictionaryStore.row_stats` totals so one
+        ``repro store ping --json`` round trip can alert on unexpected
+        store shrinkage, and ``service_time`` summarizes the
+        per-request service-time histograms (count/seconds per op).
         """
         with self._state_lock:
             active = len(self._connections)
@@ -1074,6 +1149,21 @@ class VerdictService:
                 + self._retired["requests"]
             )
             counters = dict(self._counters)
+            # Same state-lock -> store-lock order as every dispatch
+            # path, so health can never deadlock a batch.
+            rows = self.store.row_stats() if self.store is not None else None
+        by_op: Dict[str, Dict[str, Any]] = {}
+        timed = 0
+        seconds = 0.0
+        for entry in self.telemetry.registry.series(
+            "repro.service.request.seconds"
+        ):
+            op_name = entry["labels"].get("op", "?")
+            by_op[op_name] = {
+                "count": entry["count"], "seconds": entry["sum"]
+            }
+            timed += entry["count"]
+            seconds += entry["sum"]
         return {
             "service": SERVICE_MAGIC,
             "protocol": PROTOCOL_VERSION,
@@ -1083,6 +1173,10 @@ class VerdictService:
             "connections": {"active": active, "total": total},
             "requests": requests,
             "counters": counters,
+            "rows": rows,
+            "service_time": {
+                "count": timed, "seconds": seconds, "by_op": by_op
+            },
             "idle_timeout": self.idle_timeout,
             "checkpoint_interval": self.checkpoint_interval,
         }

@@ -63,6 +63,8 @@ from typing import (
     Union,
 )
 
+from ..telemetry import TELEMETRY_OFF
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..kernel.cache import SimKey
 
@@ -199,6 +201,10 @@ class FaultDictionaryStore:
         self.readonly = readonly
         self.timeout = timeout
         self.stats = StoreStats()
+        #: Telemetry handle (no-op by default; the verdict daemon
+        #: swaps in its live handle so WAL checkpoint timings land in
+        #: the ``repro.store.checkpoint.seconds`` histogram).
+        self.telemetry = TELEMETRY_OFF
         #: Set to the quarantine path when a corrupt file was set aside.
         self.quarantined: Optional[Path] = None
         self._lock = threading.Lock()
@@ -420,6 +426,8 @@ class FaultDictionaryStore:
             return False
         if mode not in ("PASSIVE", "FULL", "RESTART", "TRUNCATE"):
             raise ValueError(f"unknown WAL checkpoint mode {mode!r}")
+        telemetry = self.telemetry
+        started = telemetry.clock() if telemetry.enabled else 0.0
         with self._lock:
             if self._conn is None:
                 return False
@@ -427,6 +435,10 @@ class FaultDictionaryStore:
                 self._conn.execute(f"PRAGMA wal_checkpoint({mode})")
             except sqlite3.Error:
                 return False
+        if telemetry.enabled:
+            telemetry.histogram(
+                "repro.store.checkpoint.seconds", mode=mode
+            ).observe(telemetry.clock() - started)
         return True
 
     def close(self) -> None:

@@ -31,8 +31,9 @@ daemon over a socket -- the kernel cannot tell the difference.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple, Union
 
+from ..telemetry import TELEMETRY_OFF, Telemetry
 from .store import FaultDictionaryStore, StoreStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -51,9 +52,15 @@ class TieredCache:
         self,
         memory: "FaultDictionaryCache",
         store: "Union[FaultDictionaryStore, Any]",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.memory = memory
         self.store = store
+        # With a live handle, second-tier passes record read-through /
+        # write-through latency histograms; the LRU tier stays
+        # untimed -- its counters already live in the kernel stats and
+        # a per-hit clock read would dominate the hit itself.
+        self.telemetry = telemetry if telemetry is not None else TELEMETRY_OFF
 
     # -- tier-1 introspection (FaultDictionaryCache surface) --------------------
 
@@ -118,7 +125,15 @@ class TieredCache:
             else:
                 missing.append(key)
         if missing:
-            from_store = self.store.get_many(missing)
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                started = telemetry.clock()
+                from_store = self.store.get_many(missing)
+                telemetry.histogram(
+                    "repro.store.read_through.seconds", tier="store"
+                ).observe(telemetry.clock() - started)
+            else:
+                from_store = self.store.get_many(missing)
             for key, value in from_store.items():
                 self.memory.put(key, value)
             found.update(from_store)
@@ -133,7 +148,15 @@ class TieredCache:
     def put_many(self, pairs: Sequence[Tuple["SimKey", Any]]) -> None:
         for key, value in pairs:
             self.memory.put(key, value)
-        self.store.put_many(pairs)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            started = telemetry.clock()
+            self.store.put_many(pairs)
+            telemetry.histogram(
+                "repro.store.write_through.seconds", tier="store"
+            ).observe(telemetry.clock() - started)
+        else:
+            self.store.put_many(pairs)
 
     # -- lifecycle --------------------------------------------------------------
 

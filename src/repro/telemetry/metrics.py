@@ -1,0 +1,411 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+Every tier of the stack grew its own ad-hoc counters over the PRs --
+``KernelStats``, ``ExecutionBackend.served``, the store's
+``StoreStats``, the verdict daemon's per-client ledger -- with
+``describe_stats()`` free text as the only cross-tier view.  This
+module is the uniform machine-readable surface underneath all of them:
+a :class:`MetricsRegistry` holds named *instruments* (one per
+``(name, labels)`` series) and renders one deterministic
+:meth:`~MetricsRegistry.snapshot` dict that ``--metrics``, the verdict
+service's ``metrics`` op and ``repro report`` all share.
+
+Design rules
+------------
+* **Dependency-free and cheap.**  An instrument is a ``__slots__``
+  object holding ints/floats; incrementing one costs the same as the
+  dataclass fields it replaced.  Nothing here imports anything from
+  :mod:`repro` -- the kernel and store import *us*.
+* **Deterministic content.**  Only metric *values* vary between runs:
+  metric names, label key sets and series ordering are stable
+  (series sort by their label items), histogram bucket bounds are
+  fixed at registration, and :meth:`snapshot` output round-trips
+  through ``json.dumps(..., sort_keys=True)`` byte-stably.  This is
+  what makes two snapshots diffable by ``repro report diff``.
+* **Bounded cardinality.**  Labels are free-form, so a bug (or a
+  hostile label source) could mint unbounded series.  Beyond
+  :data:`MAX_SERIES_PER_METRIC` distinct label sets per metric name,
+  new series collapse into one ``{"overflow": "true"}`` series
+  instead of growing the registry without limit.
+* **Two registration styles.**  ``counter()/gauge()/histogram()``
+  create registry-owned instruments; :meth:`~MetricsRegistry.adopt`
+  registers an instrument another object already owns (how
+  ``KernelStats``' counters become the ``repro.kernel.cache.*``
+  series without double accounting); :meth:`~MetricsRegistry.collector`
+  registers a callback sampled at snapshot time (how dynamic sources
+  like a backend's ``served`` dict join without per-event hooks).
+
+Thread safety: series creation and snapshots are lock-protected;
+*increments* are deliberately not (the hot paths are single-threaded
+per kernel, and the verdict daemon serializes its updates under its
+own state lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Generation of the snapshot payload layout.
+SNAPSHOT_SCHEMA = 1
+
+#: Fixed default histogram bucket bounds (seconds): 100 microseconds
+#: to 10 seconds, the dynamic range between one packed march step and
+#: one slow cold campaign job.  Values above the last bound land in
+#: the overflow bucket.  Fixed and shared so any two snapshots of the
+#: same metric are bucket-compatible and therefore mergeable/diffable.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Series-per-metric cardinality cap (see the module docstring).
+MAX_SERIES_PER_METRIC = 64
+
+#: The label set runaway series collapse into beyond the cap.
+OVERFLOW_LABELS: Tuple[Tuple[str, str], ...] = (("overflow", "true"),)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, Any]) -> LabelItems:
+    """Canonical, hashable, deterministically ordered label identity."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically growing count (hot-path cheap: one slot)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def sample(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def sample(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """A distribution over fixed, deterministic bucket bounds.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; the final
+    extra bucket counts the overflow above the last bound.  Bounds are
+    frozen at construction so every snapshot of one metric is
+    bucket-compatible with every other.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total")
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None) -> None:
+        bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(
+                f"histogram bounds must be non-empty and ascending,"
+                f" got {bounds!r}"
+            )
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        # bisect_left: a value exactly on a bound belongs to that
+        # bound's bucket (inclusive upper bounds, le-style).
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def sample(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named, labeled instruments with one deterministic snapshot.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("requests", op="ping").inc()
+    >>> registry.snapshot()["metrics"]["requests"]["series"]
+    [{'labels': {'op': 'ping'}, 'value': 1}]
+    """
+
+    def __init__(self, max_series: int = MAX_SERIES_PER_METRIC) -> None:
+        self.max_series = max_series
+        #: name -> {"kind": str, "series": {label items -> instrument}}
+        self._metrics: Dict[str, Dict[str, Any]] = {}
+        #: name -> (kind, callback) sampled at snapshot time.
+        self._collectors: Dict[
+            str, Tuple[str, Callable[[], Iterable[Tuple[Dict[str, Any],
+                                                        Any]]]]
+        ] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -----------------------------------------------------------
+
+    def _series(
+        self, kind: str, name: str, labels: Dict[str, Any],
+        factory: Callable[[], Any],
+    ) -> Any:
+        items = _label_items(labels)
+        with self._lock:
+            metric = self._metrics.setdefault(
+                name, {"kind": kind, "series": {}}
+            )
+            if metric["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {metric['kind']},"
+                    f" not a {kind}"
+                )
+            series = metric["series"]
+            instrument = series.get(items)
+            if instrument is None:
+                if len(series) >= self.max_series \
+                        and items not in series:
+                    # Cardinality cap: collapse runaway label sets
+                    # into one overflow series instead of growing
+                    # without bound.
+                    items = OVERFLOW_LABELS
+                    instrument = series.get(items)
+                    if instrument is not None:
+                        return instrument
+                instrument = factory()
+                series[items] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get-or-create the counter series ``(name, labels)``."""
+        return self._series("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get-or-create the gauge series ``(name, labels)``."""
+        return self._series("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Iterable[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        """Get-or-create the histogram series ``(name, labels)``.
+
+        ``bounds`` only applies when the series is created; an
+        existing series keeps its frozen bounds.
+        """
+        return self._series(
+            "histogram", name, labels, lambda: Histogram(bounds)
+        )
+
+    def adopt(self, name: str, instrument: Any, **labels: Any) -> Any:
+        """Register an externally-owned instrument as a series.
+
+        This is how compatibility surfaces join the registry without
+        double accounting: e.g. the kernel adopts the live
+        ``KernelStats`` counters as ``repro.kernel.cache.*``, so the
+        historical ``kernel.stats`` property and the snapshot read the
+        same objects.  Re-adopting a ``(name, labels)`` pair replaces
+        the previous instrument.
+        """
+        for kind, cls in _KINDS.items():
+            if isinstance(instrument, cls):
+                break
+        else:
+            raise TypeError(
+                f"cannot adopt {type(instrument).__name__}:"
+                " not a Counter/Gauge/Histogram"
+            )
+        items = _label_items(labels)
+        with self._lock:
+            metric = self._metrics.setdefault(
+                name, {"kind": kind, "series": {}}
+            )
+            if metric["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {metric['kind']}, not a {kind}"
+                )
+            metric["series"][items] = instrument
+        return instrument
+
+    def collector(
+        self,
+        name: str,
+        sample: Callable[[], Iterable[Tuple[Dict[str, Any], Any]]],
+        kind: str = "counter",
+    ) -> None:
+        """Register a snapshot-time callback for dynamic series.
+
+        ``sample()`` returns ``(labels dict, value)`` pairs; they are
+        rendered into the snapshot as if they were owned instruments.
+        One callback per name (re-registration replaces); use it for
+        sources whose label sets appear as the run unfolds (a
+        backend's ``served`` strategies) or that another object
+        already counts (``StoreStats``).
+        """
+        if kind not in ("counter", "gauge"):
+            raise ValueError(
+                f"collectors sample scalar series, not {kind!r}"
+            )
+        with self._lock:
+            owned = self._metrics.get(name)
+            if owned is not None and owned["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is a {owned['kind']}, not a {kind}"
+                )
+            self._collectors[name] = (kind, sample)
+
+    # -- read side --------------------------------------------------------------
+
+    def series(self, name: str) -> List[Dict[str, Any]]:
+        """The snapshot-form series list of one metric (empty when
+        the metric does not exist yet)."""
+        return (
+            self.snapshot()["metrics"]
+            .get(name, {})
+            .get("series", [])
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One deterministic dict of everything the registry holds.
+
+        Key sets and orderings are stable across runs (metric names
+        and label items sort lexicographically); only the values vary.
+        The payload is pure JSON-native data, safe to ``json.dumps``
+        with ``sort_keys=True`` and diff.
+        """
+        with self._lock:
+            metrics: Dict[str, Any] = {}
+            for name, metric in self._metrics.items():
+                rows = {
+                    items: instrument.sample()
+                    for items, instrument in metric["series"].items()
+                }
+                metrics[name] = {"kind": metric["kind"], "rows": rows}
+            collectors = dict(self._collectors)
+        for name, (kind, sample) in collectors.items():
+            rows = metrics.setdefault(
+                name, {"kind": kind, "rows": {}}
+            )["rows"]
+            for labels, value in sample():
+                rows[_label_items(labels)] = {"value": value}
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "metrics": {
+                name: {
+                    "type": metric["kind"],
+                    "series": [
+                        {"labels": dict(items), **metric["rows"][items]}
+                        for items in sorted(metric["rows"])
+                    ],
+                }
+                for name, metric in sorted(metrics.items())
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every series and collector (tests, mostly)."""
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()
+
+
+def counter_total(snapshot: Dict[str, Any], name: str) -> int:
+    """Sum of a counter metric's series values in a snapshot."""
+    metric = snapshot.get("metrics", {}).get(name, {})
+    return sum(row.get("value", 0) for row in metric.get("series", ()))
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Fold many snapshots into one (campaign jobs -> campaign total).
+
+    Counters and histograms add (same-bounds histograms add bucket by
+    bucket; mismatched bounds refuse loudly rather than blend apples
+    and oranges); gauges keep the maximum level seen, which is the
+    useful aggregate for per-job levels like pool sizes.  Series
+    ordering in the result follows the same deterministic rules as
+    :meth:`MetricsRegistry.snapshot`.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    kinds: Dict[str, str] = {}
+    for snapshot in snapshots:
+        for name, metric in snapshot.get("metrics", {}).items():
+            kind = metric["type"]
+            if kinds.setdefault(name, kind) != kind:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: kind"
+                    f" {kind!r} vs {kinds[name]!r}"
+                )
+            rows = merged.setdefault(name, {})
+            for entry in metric["series"]:
+                items = _label_items(entry["labels"])
+                current = rows.get(items)
+                if current is None:
+                    rows[items] = {
+                        k: (list(v) if isinstance(v, list) else v)
+                        for k, v in entry.items() if k != "labels"
+                    }
+                    continue
+                if kind == "counter":
+                    current["value"] += entry["value"]
+                elif kind == "gauge":
+                    current["value"] = max(
+                        current["value"], entry["value"]
+                    )
+                else:
+                    if current["bounds"] != entry["bounds"]:
+                        raise ValueError(
+                            f"cannot merge histogram {name!r}:"
+                            " bucket bounds differ"
+                        )
+                    current["count"] += entry["count"]
+                    current["sum"] += entry["sum"]
+                    current["buckets"] = [
+                        a + b for a, b in zip(
+                            current["buckets"], entry["buckets"]
+                        )
+                    ]
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "metrics": {
+            name: {
+                "type": kinds[name],
+                "series": [
+                    {"labels": dict(items), **rows[items]}
+                    for items in sorted(rows)
+                ],
+            }
+            for name, rows in sorted(merged.items())
+        },
+    }

@@ -1,0 +1,548 @@
+"""Trend tracking over telemetry artifacts: ``repro report``.
+
+The registry gave every run a deterministic snapshot; the campaign
+manifest and ``BENCH_kernel.json`` already were deterministic records.
+This module is the read side: load any one of the three, render it as
+a table (or ``--json``), and *diff* two of a kind so CI can gate on
+trend -- coverage deltas per fault model, per-backend timing ratios,
+store-population growth -- instead of only fixed-point guards.
+
+Payload kinds are recognized structurally (no filename conventions):
+
+* **metrics** -- a registry snapshot (``{"schema", "metrics"}``), from
+  ``--metrics``, the daemon's ``metrics`` op, or a manifest's
+  ``telemetry`` block;
+* **manifest** -- a campaign manifest (``{"campaign", "totals"}``);
+* **bench** -- a benchmark record (``{"benchmark", "workloads"}``).
+
+Regression policy (``repro report diff A B --fail-on-regression T``):
+
+* manifests: any result row whose coverage dropped by more than ``T``
+  (absolute), any result row that vanished, or a growth in failed
+  jobs is a regression.  Two manifests that are identical after
+  :func:`~repro.store.campaign.normalized_manifest` can never regress.
+* bench records: any shared ``seconds`` scenario whose B/A ratio
+  exceeds ``1 + T`` is a regression (timings compare as ratios, not
+  absolutes, so one threshold covers microsecond and minute
+  workloads).
+* metrics snapshots diff informationally (counter deltas, histogram
+  mean ratios); they carry no self-contained correctness contract to
+  gate on.
+
+Imports from :mod:`repro.store` happen inside functions: the telemetry
+package is imported *by* the kernel and store, so a module-level import
+here would cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "ReportError",
+    "classify_payload",
+    "load_payload",
+    "report_json",
+    "render_report",
+    "diff_payloads",
+    "render_diff",
+]
+
+
+class ReportError(ValueError):
+    """The report input is unreadable or not a known payload kind."""
+
+
+def classify_payload(data: Any) -> str:
+    """``"metrics"`` / ``"manifest"`` / ``"bench"``, or raise."""
+    if isinstance(data, dict):
+        if "campaign" in data and "totals" in data:
+            return "manifest"
+        if "workloads" in data and "benchmark" in data:
+            return "bench"
+        if "metrics" in data and "schema" in data:
+            return "metrics"
+    raise ReportError(
+        "unrecognized report payload: expected a metrics snapshot,"
+        " a campaign manifest, or a BENCH_kernel.json record"
+    )
+
+
+def load_payload(path: Union[str, Path]) -> Tuple[str, Dict[str, Any]]:
+    """Read and classify one report input file."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise ReportError(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ReportError(
+            f"{path} is not valid JSON: {error}"
+        ) from error
+    try:
+        return classify_payload(data), data
+    except ReportError as error:
+        raise ReportError(f"{path}: {error}") from None
+
+
+# -- single-payload rendering ---------------------------------------------------
+
+
+def _format_labels(labels: Dict[str, Any]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _table(rows: List[Tuple[str, ...]], header: Tuple[str, ...]) -> str:
+    widths = [
+        max(len(str(row[col])) for row in [header, *rows])
+        for col in range(len(header))
+    ]
+    lines = []
+    for row in [header, *rows]:
+        lines.append(
+            "  ".join(
+                str(cell).ljust(width)
+                for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _metrics_rows(snapshot: Dict[str, Any]) -> List[Tuple[str, ...]]:
+    rows: List[Tuple[str, ...]] = []
+    for name, metric in sorted(snapshot.get("metrics", {}).items()):
+        for entry in metric["series"]:
+            if metric["type"] == "histogram":
+                mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+                value = (
+                    f"count={entry['count']}"
+                    f" sum={entry['sum']:.6f}s mean={mean * 1e3:.3f}ms"
+                )
+            else:
+                value = str(entry["value"])
+            rows.append(
+                (name, metric["type"], _format_labels(entry["labels"]),
+                 value)
+            )
+    return rows
+
+
+def report_json(kind: str, data: Dict[str, Any]) -> Dict[str, Any]:
+    """The machine form of one rendered report (``--json``)."""
+    if kind == "metrics":
+        return {"kind": kind, "snapshot": data}
+    if kind == "manifest":
+        return {
+            "kind": kind,
+            "campaign": data.get("campaign"),
+            "schema": data.get("schema"),
+            "totals": data.get("totals"),
+            "results": data.get("results"),
+            "per_model": per_model_coverage(data),
+        }
+    return {
+        "kind": kind,
+        "benchmark": data.get("benchmark"),
+        "schema": data.get("schema"),
+        "workloads": {
+            name: workload.get("seconds", {})
+            for name, workload in sorted(data.get("workloads", {}).items())
+        },
+    }
+
+
+def render_report(kind: str, data: Dict[str, Any]) -> str:
+    """One payload as a human-readable table."""
+    if kind == "metrics":
+        rows = _metrics_rows(data)
+        if not rows:
+            return "metrics snapshot: empty registry"
+        return _table(rows, ("metric", "type", "labels", "value"))
+    if kind == "manifest":
+        lines = []
+        totals = data.get("totals", {})
+        lines.append(
+            f"campaign '{data.get('campaign')}' (manifest schema"
+            f" {data.get('schema')}): {totals.get('jobs')} jobs,"
+            f" {totals.get('failed')} failed,"
+            f" {totals.get('verdicts_simulated')} simulated,"
+            f" {totals.get('verdicts_from_store')} from store"
+        )
+        rows = [
+            (
+                row["test"], row["backend"], str(row["size"]),
+                f"{row['detected']}/{row['fault_cases']}",
+                f"{row['coverage'] * 100:.1f}%",
+            )
+            for row in data.get("results", ())
+        ]
+        if rows:
+            lines.append(
+                _table(rows, ("test", "backend", "size", "detected",
+                              "coverage"))
+            )
+        per_model = per_model_coverage(data)
+        if per_model:
+            lines.append("coverage by fault model:")
+            lines.append(_table(
+                [
+                    (model, f"{stats['detected']}/{stats['cases']}",
+                     f"{stats['coverage'] * 100:.1f}%")
+                    for model, stats in sorted(per_model.items())
+                ],
+                ("model", "detected", "coverage"),
+            ))
+        telemetry = (data.get("telemetry") or {}).get("metrics")
+        if telemetry:
+            lines.append("telemetry:")
+            lines.append(_table(
+                _metrics_rows(telemetry),
+                ("metric", "type", "labels", "value"),
+            ))
+        return "\n".join(lines)
+    lines = [
+        f"benchmark '{data.get('benchmark')}' (schema"
+        f" {data.get('schema')})"
+    ]
+    rows = []
+    for name, workload in sorted(data.get("workloads", {}).items()):
+        for scenario, seconds in sorted(
+            (workload.get("seconds") or {}).items()
+        ):
+            rows.append((name, scenario, f"{seconds * 1e3:.2f} ms"))
+    if rows:
+        lines.append(_table(rows, ("workload", "scenario", "seconds")))
+    return "\n".join(lines)
+
+
+# -- per-model coverage ---------------------------------------------------------
+
+
+def per_model_coverage(
+    manifest: Dict[str, Any]
+) -> Dict[str, Dict[str, Any]]:
+    """Aggregate result rows into per-fault-model coverage.
+
+    Result rows carry full-set coverage plus the missed case names;
+    case names map back to their model through the fault library (the
+    same instance derivation the jobs ran), aggregated across every
+    result row.  Unknown models (a manifest from a newer library)
+    yield an empty dict rather than failing the report.
+    """
+    from ..faults.faultlist import FaultList  # lazy: avoid import cycle
+
+    models = [
+        str(model)
+        for model in (manifest.get("spec") or {}).get("faults", ())
+    ]
+    results = manifest.get("results") or []
+    if not models or not results:
+        return {}
+    per_model: Dict[str, Dict[str, Any]] = {
+        model: {"cases": 0, "detected": 0} for model in models
+    }
+    name_cache: Dict[Tuple[str, int], Dict[str, set]] = {}
+    for row in results:
+        size = row.get("size")
+        key = ("|".join(models), size)
+        names = name_cache.get(key)
+        if names is None:
+            try:
+                names = {
+                    model: {
+                        case.name
+                        for case in FaultList.from_names(model)
+                        .instances(size)
+                    }
+                    for model in models
+                }
+            except Exception:  # unknown model: report without the split
+                return {}
+            name_cache[key] = names
+        missed = set(row.get("missed") or ())
+        for model in models:
+            cases = names[model]
+            per_model[model]["cases"] += len(cases)
+            per_model[model]["detected"] += len(cases - (missed & cases))
+    for stats in per_model.values():
+        stats["coverage"] = (
+            stats["detected"] / stats["cases"] if stats["cases"] else 0.0
+        )
+    return per_model
+
+
+# -- diffing --------------------------------------------------------------------
+
+
+def _result_key(row: Dict[str, Any]) -> Tuple[str, str, Any]:
+    return (str(row.get("test")), str(row.get("backend")),
+            row.get("size"))
+
+
+def _diff_manifests(
+    a: Dict[str, Any], b: Dict[str, Any], threshold: float
+) -> Dict[str, Any]:
+    from ..store.campaign import normalized_manifest  # lazy: cycle
+
+    identical = normalized_manifest(a) == normalized_manifest(b)
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+
+    results_a = {_result_key(r): r for r in a.get("results") or ()}
+    results_b = {_result_key(r): r for r in b.get("results") or ()}
+    for key in sorted(results_a, key=str):
+        row_a = results_a[key]
+        row_b = results_b.get(key)
+        label = f"{key[0]} [{key[1]} @ size {key[2]}]"
+        if row_b is None:
+            regressions.append(f"result row vanished: {label}")
+            rows.append({
+                "kind": "coverage", "key": label,
+                "a": row_a.get("coverage"), "b": None, "delta": None,
+            })
+            continue
+        delta = (row_b.get("coverage") or 0.0) - (row_a.get("coverage")
+                                                  or 0.0)
+        rows.append({
+            "kind": "coverage", "key": label,
+            "a": row_a.get("coverage"), "b": row_b.get("coverage"),
+            "delta": delta,
+        })
+        if delta < -threshold:
+            regressions.append(
+                f"coverage regression: {label}"
+                f" {row_a.get('coverage'):.4f} -> "
+                f"{row_b.get('coverage'):.4f}"
+            )
+    for key in sorted(set(results_b) - set(results_a), key=str):
+        rows.append({
+            "kind": "coverage",
+            "key": f"{key[0]} [{key[1]} @ size {key[2]}]",
+            "a": None, "b": results_b[key].get("coverage"),
+            "delta": None,
+        })
+
+    model_a = per_model_coverage(a)
+    model_b = per_model_coverage(b)
+    for model in sorted(set(model_a) | set(model_b)):
+        cov_a = model_a.get(model, {}).get("coverage")
+        cov_b = model_b.get(model, {}).get("coverage")
+        delta = (
+            cov_b - cov_a
+            if cov_a is not None and cov_b is not None else None
+        )
+        rows.append({
+            "kind": "model_coverage", "key": model,
+            "a": cov_a, "b": cov_b, "delta": delta,
+        })
+        if delta is not None and delta < -threshold:
+            regressions.append(
+                f"fault-model coverage regression: {model}"
+                f" {cov_a:.4f} -> {cov_b:.4f}"
+            )
+
+    failed_a = (a.get("totals") or {}).get("failed", 0)
+    failed_b = (b.get("totals") or {}).get("failed", 0)
+    rows.append({
+        "kind": "failed_jobs", "key": "totals.failed",
+        "a": failed_a, "b": failed_b, "delta": failed_b - failed_a,
+    })
+    if failed_b > failed_a:
+        regressions.append(
+            f"failed jobs grew: {failed_a} -> {failed_b}"
+        )
+
+    # Per-backend timing ratios (informational: wall-clock is
+    # machine-dependent; the bench records own the gated timings).
+    def backend_seconds(manifest: Dict[str, Any]) -> Dict[str, float]:
+        seconds: Dict[str, float] = {}
+        for job in manifest.get("jobs") or ():
+            if job.get("seconds") is not None:
+                seconds[job["backend"]] = (
+                    seconds.get(job["backend"], 0.0) + job["seconds"]
+                )
+        return seconds
+
+    seconds_a = backend_seconds(a)
+    seconds_b = backend_seconds(b)
+    for backend in sorted(set(seconds_a) & set(seconds_b)):
+        ratio = (
+            seconds_b[backend] / seconds_a[backend]
+            if seconds_a[backend] else math.inf
+        )
+        rows.append({
+            "kind": "backend_seconds", "key": backend,
+            "a": seconds_a[backend], "b": seconds_b[backend],
+            "ratio": ratio,
+        })
+
+    # Store-population growth: how much dictionary each run built.
+    def store_writes(manifest: Dict[str, Any]) -> int:
+        return sum(
+            (job.get("store") or {}).get("writes", 0)
+            for job in manifest.get("jobs") or ()
+        )
+
+    rows.append({
+        "kind": "store_writes", "key": "store.writes",
+        "a": store_writes(a), "b": store_writes(b),
+        "delta": store_writes(b) - store_writes(a),
+    })
+
+    if identical:
+        regressions = []
+    return {
+        "kind": "manifest",
+        "identical": identical,
+        "rows": rows,
+        "regressions": regressions,
+    }
+
+
+def _diff_bench(
+    a: Dict[str, Any], b: Dict[str, Any], threshold: float
+) -> Dict[str, Any]:
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    workloads_a = a.get("workloads") or {}
+    workloads_b = b.get("workloads") or {}
+    for name in sorted(set(workloads_a) & set(workloads_b)):
+        seconds_a = workloads_a[name].get("seconds") or {}
+        seconds_b = workloads_b[name].get("seconds") or {}
+        for scenario in sorted(set(seconds_a) & set(seconds_b)):
+            ratio = (
+                seconds_b[scenario] / seconds_a[scenario]
+                if seconds_a[scenario] else math.inf
+            )
+            rows.append({
+                "kind": "seconds", "key": f"{name}/{scenario}",
+                "a": seconds_a[scenario], "b": seconds_b[scenario],
+                "ratio": ratio,
+            })
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"timing regression: {name}/{scenario}"
+                    f" {seconds_a[scenario]:.6f}s -> "
+                    f"{seconds_b[scenario]:.6f}s"
+                    f" ({ratio:.2f}x)"
+                )
+    for name in sorted(set(workloads_a) - set(workloads_b)):
+        rows.append({
+            "kind": "workload", "key": name, "a": "present", "b": None,
+        })
+    identical = rows and all(
+        row.get("ratio") == 1.0 for row in rows
+        if row["kind"] == "seconds"
+    ) or False
+    return {
+        "kind": "bench",
+        "identical": bool(identical),
+        "rows": rows,
+        "regressions": regressions,
+    }
+
+
+def _diff_metrics(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Dict[str, Any]:
+    rows: List[Dict[str, Any]] = []
+
+    def series_map(snapshot: Dict[str, Any]) -> Dict[Tuple[str, str],
+                                                     Dict[str, Any]]:
+        flat = {}
+        for name, metric in (snapshot.get("metrics") or {}).items():
+            for entry in metric["series"]:
+                flat[(name, _format_labels(entry["labels"]))] = (
+                    metric["type"], entry
+                )
+        return flat
+
+    flat_a = series_map(a)
+    flat_b = series_map(b)
+    for key in sorted(set(flat_a) | set(flat_b)):
+        name, labels = key
+        kind_a, entry_a = flat_a.get(key, (None, None))
+        kind_b, entry_b = flat_b.get(key, (None, None))
+        kind = kind_a or kind_b
+        if kind == "histogram":
+            def mean(entry: Optional[Dict[str, Any]]) -> Optional[float]:
+                if entry is None or not entry.get("count"):
+                    return None
+                return entry["sum"] / entry["count"]
+
+            rows.append({
+                "kind": "histogram_mean",
+                "key": f"{name}{{{labels}}}",
+                "a": mean(entry_a), "b": mean(entry_b),
+            })
+        else:
+            value_a = entry_a.get("value") if entry_a else None
+            value_b = entry_b.get("value") if entry_b else None
+            delta = (
+                value_b - value_a
+                if value_a is not None and value_b is not None else None
+            )
+            rows.append({
+                "kind": kind, "key": f"{name}{{{labels}}}",
+                "a": value_a, "b": value_b, "delta": delta,
+            })
+    return {
+        "kind": "metrics",
+        "identical": flat_a == flat_b,
+        "rows": rows,
+        "regressions": [],
+    }
+
+
+def diff_payloads(
+    kind_a: str,
+    a: Dict[str, Any],
+    kind_b: str,
+    b: Dict[str, Any],
+    threshold: float = 0.0,
+) -> Dict[str, Any]:
+    """Compare two same-kind payloads; see the module docstring for
+    what counts as a regression under ``threshold``."""
+    if kind_a != kind_b:
+        raise ReportError(
+            f"cannot diff a {kind_a} payload against a {kind_b} payload"
+        )
+    if kind_a == "manifest":
+        return _diff_manifests(a, b, threshold)
+    if kind_a == "bench":
+        return _diff_bench(a, b, threshold)
+    return _diff_metrics(a, b)
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """The human-readable form of one :func:`diff_payloads` result."""
+    lines = [
+        f"{diff['kind']} diff:"
+        f" {'identical' if diff['identical'] else 'changed'}"
+        f" ({len(diff['regressions'])} regression(s))"
+    ]
+    rows = [
+        (
+            row["kind"], row["key"], _format_value(row.get("a")),
+            _format_value(row.get("b")),
+            _format_value(row.get("delta", row.get("ratio"))),
+        )
+        for row in diff["rows"]
+    ]
+    if rows:
+        lines.append(_table(rows, ("kind", "key", "a", "b",
+                                   "delta/ratio")))
+    for regression in diff["regressions"]:
+        lines.append(f"REGRESSION: {regression}")
+    return "\n".join(lines)

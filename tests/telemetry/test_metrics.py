@@ -1,0 +1,204 @@
+"""The metrics registry: instruments, labels, snapshots, merging."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BOUNDS,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_total,
+    merge_snapshots,
+)
+from repro.telemetry.metrics import MAX_SERIES_PER_METRIC, OVERFLOW_LABELS
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert counter.sample() == {"value": 42}
+
+    def test_gauge_sets_and_moves(self):
+        gauge = Gauge()
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec(4)
+        assert gauge.value == 6
+
+    def test_histogram_bucket_edges_are_inclusive_upper_bounds(self):
+        histogram = Histogram(bounds=(0.1, 1.0))
+        # bucket[i] counts observations <= bounds[i]; a value landing
+        # exactly on a bound belongs to that bound's bucket.
+        histogram.observe(0.1)
+        histogram.observe(0.10001)
+        histogram.observe(1.0)
+        histogram.observe(2.0)  # above the last bound: overflow bucket
+        assert histogram.buckets == [1, 2, 1]
+        assert histogram.count == 4
+        assert histogram.sample()["sum"] == pytest.approx(3.20001)
+
+    def test_histogram_default_bounds_are_the_shared_fixed_set(self):
+        assert Histogram().bounds == DEFAULT_BOUNDS
+        assert len(Histogram().buckets) == len(DEFAULT_BOUNDS) + 1
+
+    def test_histogram_rejects_unsorted_or_empty_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=(1.0, 0.5))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=())
+
+
+class TestRegistry:
+    def test_series_identity_is_the_sorted_label_set(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", tier="memory", op="get").inc()
+        registry.counter("hits", op="get", tier="memory").inc()
+        series = registry.series("hits")
+        assert len(series) == 1
+        assert series[0] == {
+            "labels": {"op": "get", "tier": "memory"}, "value": 2,
+        }
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="not a gauge"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="not a histogram"):
+            registry.histogram("x")
+
+    def test_cardinality_cap_collapses_into_one_overflow_series(self):
+        registry = MetricsRegistry(max_series=3)
+        for i in range(10):
+            registry.counter("runaway", shard=i).inc()
+        series = registry.series("runaway")
+        assert len(series) == 4  # 3 real + 1 overflow
+        overflow = [
+            entry for entry in series
+            if entry["labels"] == dict(OVERFLOW_LABELS)
+        ]
+        assert len(overflow) == 1
+        assert overflow[0]["value"] == 7
+        # The default cap is generous enough for every built-in label
+        # source (backends x strategies x tiers).
+        assert MAX_SERIES_PER_METRIC >= 64
+
+    def test_adopt_registers_an_externally_owned_counter(self):
+        registry = MetricsRegistry()
+        owned = Counter()
+        assert registry.adopt("cache.hits", owned, tier="memory") is owned
+        owned.inc(5)
+        assert registry.series("cache.hits")[0]["value"] == 5
+
+    def test_adopt_rejects_non_instruments(self):
+        with pytest.raises(TypeError, match="cannot adopt"):
+            MetricsRegistry().adopt("x", object())
+
+    def test_collector_samples_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        served = {"bitparallel": 0}
+        registry.collector(
+            "served",
+            lambda: [
+                ({"strategy": strategy}, count)
+                for strategy, count in sorted(served.items())
+            ],
+        )
+        assert registry.series("served")[0]["value"] == 0
+        served["bitparallel"] = 12
+        served["serial"] = 3
+        assert registry.series("served") == [
+            {"labels": {"strategy": "bitparallel"}, "value": 12},
+            {"labels": {"strategy": "serial"}, "value": 3},
+        ]
+
+    def test_collector_rejects_histogram_kind(self):
+        with pytest.raises(ValueError, match="scalar"):
+            MetricsRegistry().collector("x", lambda: [], kind="histogram")
+
+    def test_snapshot_is_deterministic_and_json_round_trips(self):
+        def build(order):
+            registry = MetricsRegistry()
+            for name, labels in order:
+                registry.counter(name, **labels).inc()
+            return registry.snapshot()
+
+        forward = build([("b", {"x": 1}), ("a", {}), ("b", {"x": 0})])
+        backward = build([("b", {"x": 0}), ("a", {}), ("b", {"x": 1})])
+        assert forward == backward
+        dumped = json.dumps(forward, sort_keys=True)
+        assert json.loads(dumped) == forward
+        assert forward["schema"] == SNAPSHOT_SCHEMA
+
+    def test_clear_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.collector("y", lambda: [({}, 1)])
+        registry.clear()
+        assert registry.snapshot()["metrics"] == {}
+
+
+class TestMergeSnapshots:
+    def test_counters_add_and_gauges_take_the_maximum(self):
+        first = MetricsRegistry()
+        first.counter("hits", tier="memory").inc(2)
+        first.gauge("pool").set(3)
+        second = MetricsRegistry()
+        second.counter("hits", tier="memory").inc(5)
+        second.counter("hits", tier="store").inc(1)
+        second.gauge("pool").set(2)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert counter_total(merged, "hits") == 8
+        series = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for entry in merged["metrics"]["hits"]["series"]
+        }
+        assert series == {
+            (("tier", "memory"),): 7, (("tier", "store"),): 1,
+        }
+        assert merged["metrics"]["pool"]["series"][0]["value"] == 3
+
+    def test_histograms_add_bucket_by_bucket(self):
+        snapshots = []
+        for values in ((0.05,), (0.05, 0.5)):
+            registry = MetricsRegistry()
+            histogram = registry.histogram("lat", bounds=(0.1, 1.0))
+            for value in values:
+                histogram.observe(value)
+            snapshots.append(registry.snapshot())
+        merged = merge_snapshots(snapshots)
+        entry = merged["metrics"]["lat"]["series"][0]
+        assert entry["buckets"] == [2, 1, 0]
+        assert entry["count"] == 3
+        assert entry["sum"] == pytest.approx(0.6)
+
+    def test_mismatched_histogram_bounds_refuse_loudly(self):
+        snapshots = []
+        for bounds in ((0.1,), (0.2,)):
+            registry = MetricsRegistry()
+            registry.histogram("lat", bounds=bounds).observe(0.05)
+            snapshots.append(registry.snapshot())
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_snapshots(snapshots)
+
+    def test_kind_conflicts_refuse_loudly(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ValueError, match="cannot merge metric"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_does_not_mutate_its_inputs(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(1)
+        snapshot = registry.snapshot()
+        merge_snapshots([snapshot, snapshot])
+        assert counter_total(snapshot, "x") == 1

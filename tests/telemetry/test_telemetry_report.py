@@ -1,0 +1,294 @@
+"""``repro report``: classification, rendering and regression diffs."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store.campaign import CampaignSpec, run_campaign
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.report import (
+    ReportError,
+    classify_payload,
+    diff_payloads,
+    load_payload,
+    per_model_coverage,
+    render_diff,
+    render_report,
+    report_json,
+)
+
+SPEC = {
+    "name": "report-unit",
+    "tests": ["MATS", "MarchC-"],
+    "faults": ["SAF", "TF"],
+    "sizes": [3],
+    "backends": ["serial"],
+}
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    store = tmp_path_factory.mktemp("report") / "dict.sqlite"
+    return run_campaign(
+        CampaignSpec.from_dict(SPEC), store_path=str(store)
+    )
+
+
+def bench_record(scale=1.0):
+    return {
+        "benchmark": "kernel",
+        "schema": 1,
+        "workloads": {
+            "table3_size3": {
+                "seconds": {"serial": 0.1 * scale, "bitparallel": 0.05},
+            },
+        },
+    }
+
+
+class TestClassification:
+    def test_recognizes_the_three_payload_kinds(self, manifest):
+        assert classify_payload(manifest) == "manifest"
+        assert classify_payload(bench_record()) == "bench"
+        assert classify_payload(
+            MetricsRegistry().snapshot()
+        ) == "metrics"
+        # A manifest's embedded telemetry block is itself a metrics
+        # snapshot, so it classifies and renders standalone.
+        assert classify_payload(
+            manifest["telemetry"]["metrics"]
+        ) == "metrics"
+
+    def test_rejects_junk(self):
+        for junk in ({}, {"totals": {}}, [], "x"):
+            with pytest.raises(ReportError, match="unrecognized"):
+                classify_payload(junk)
+
+    def test_load_payload_reports_bad_files(self, tmp_path):
+        with pytest.raises(ReportError, match="cannot read"):
+            load_payload(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReportError, match="not valid JSON"):
+            load_payload(bad)
+        junk = tmp_path / "junk.json"
+        junk.write_text("{}")
+        with pytest.raises(ReportError, match="unrecognized"):
+            load_payload(junk)
+
+
+class TestRendering:
+    def test_manifest_report_carries_results_and_model_split(
+        self, manifest
+    ):
+        text = render_report("manifest", manifest)
+        assert "campaign 'report-unit'" in text
+        assert "MarchC-" in text
+        assert "coverage by fault model:" in text
+        assert "SAF" in text and "TF" in text
+        assert "telemetry:" in text
+        assert "repro.backend.served" in text
+
+    def test_metrics_report_renders_histogram_summaries(self, manifest):
+        text = render_report("metrics", manifest["telemetry"]["metrics"])
+        assert "repro.backend.detect.seconds" in text
+        assert "mean=" in text
+
+    def test_bench_report_lists_scenarios(self):
+        text = render_report("bench", bench_record())
+        assert "table3_size3" in text
+        assert "serial" in text
+
+    def test_report_json_is_json_native(self, manifest):
+        for kind, data in (
+            ("manifest", manifest),
+            ("bench", bench_record()),
+            ("metrics", manifest["telemetry"]["metrics"]),
+        ):
+            payload = report_json(kind, data)
+            assert payload["kind"] == kind
+            json.dumps(payload)  # must not raise
+
+    def test_per_model_coverage_maps_missed_names_to_models(
+        self, manifest
+    ):
+        per_model = per_model_coverage(manifest)
+        assert set(per_model) == {"SAF", "TF"}
+        # MarchC- detects everything, MATS misses some TF cases; SAF
+        # alone is fully covered even by MATS.
+        assert per_model["SAF"]["coverage"] == 1.0
+        assert 0.0 < per_model["TF"]["coverage"] <= 1.0
+        total_cases = sum(m["cases"] for m in per_model.values())
+        assert total_cases == sum(
+            row["fault_cases"] for row in manifest["results"]
+        )
+
+    def test_per_model_coverage_survives_unknown_models(self, manifest):
+        doctored = copy.deepcopy(manifest)
+        doctored["spec"]["faults"] = ["NOPE"]
+        assert per_model_coverage(doctored) == {}
+
+
+class TestManifestDiff:
+    def test_identical_manifests_never_regress(self, manifest):
+        # Even with a zero threshold and jittered timings a manifest
+        # diffed against a re-serialized copy of itself is clean.
+        other = copy.deepcopy(manifest)
+        for job in other["jobs"]:
+            if job["seconds"] is not None:
+                job["seconds"] *= 3.0
+        diff = diff_payloads("manifest", manifest, "manifest", other, 0.0)
+        assert diff["identical"] is True
+        assert diff["regressions"] == []
+
+    def doctor_coverage(self, manifest, test="MarchC-", drop=5):
+        doctored = copy.deepcopy(manifest)
+        for row in doctored["results"]:
+            if row["test"] == test:
+                detected = row["detected"] - drop
+                row["detected"] = detected
+                row["coverage"] = detected / row["fault_cases"]
+                missed = [
+                    case for case in (
+                        f"TF:<{i}|1w0|0>@({i})" for i in range(drop)
+                    )
+                ]
+                row["missed"] = sorted(set(row["missed"]) | set(missed))
+        return doctored
+
+    def test_coverage_drop_is_a_regression(self, manifest):
+        doctored = self.doctor_coverage(manifest)
+        diff = diff_payloads(
+            "manifest", manifest, "manifest", doctored, 0.01
+        )
+        assert diff["identical"] is False
+        assert any(
+            "coverage regression: MarchC-" in r
+            for r in diff["regressions"]
+        )
+        text = render_diff(diff)
+        assert "REGRESSION" in text
+
+    def test_threshold_forgives_small_drops(self, manifest):
+        doctored = self.doctor_coverage(manifest, drop=1)
+        diff = diff_payloads(
+            "manifest", manifest, "manifest", doctored, 0.5
+        )
+        coverage_regressions = [
+            r for r in diff["regressions"] if "coverage" in r
+        ]
+        assert coverage_regressions == []
+
+    def test_vanished_result_row_is_a_regression(self, manifest):
+        doctored = copy.deepcopy(manifest)
+        doctored["results"] = [
+            row for row in doctored["results"]
+            if row["test"] != "MarchC-"
+        ]
+        diff = diff_payloads(
+            "manifest", manifest, "manifest", doctored, 0.0
+        )
+        assert any("vanished" in r for r in diff["regressions"])
+
+    def test_failed_job_growth_is_a_regression(self, manifest):
+        doctored = copy.deepcopy(manifest)
+        doctored["totals"]["failed"] += 1
+        diff = diff_payloads(
+            "manifest", manifest, "manifest", doctored, 0.0
+        )
+        assert any("failed jobs grew" in r for r in diff["regressions"])
+
+    def test_backend_timing_and_store_growth_are_informational(
+        self, manifest
+    ):
+        other = copy.deepcopy(manifest)
+        for job in other["jobs"]:
+            if job["seconds"] is not None:
+                job["seconds"] *= 100.0
+        diff = diff_payloads("manifest", manifest, "manifest", other, 0.0)
+        kinds = {row["kind"] for row in diff["rows"]}
+        assert "backend_seconds" in kinds
+        assert "store_writes" in kinds
+        assert diff["regressions"] == []
+
+
+class TestBenchDiff:
+    def test_timing_regression_beyond_the_ratio_threshold(self):
+        diff = diff_payloads(
+            "bench", bench_record(), "bench", bench_record(scale=1.5),
+            0.05,
+        )
+        assert any(
+            "timing regression" in r for r in diff["regressions"]
+        )
+
+    def test_threshold_forgives_noise(self):
+        diff = diff_payloads(
+            "bench", bench_record(), "bench", bench_record(scale=1.02),
+            0.05,
+        )
+        assert diff["regressions"] == []
+
+    def test_kind_mismatch_refuses(self, manifest):
+        with pytest.raises(ReportError, match="cannot diff"):
+            diff_payloads("manifest", manifest, "bench", bench_record())
+
+
+class TestMetricsDiff:
+    def test_metrics_diffs_are_informational(self):
+        a = MetricsRegistry()
+        a.counter("hits").inc(2)
+        a.histogram("lat", bounds=(0.1,)).observe(0.05)
+        b = MetricsRegistry()
+        b.counter("hits").inc(9)
+        b.histogram("lat", bounds=(0.1,)).observe(0.2)
+        diff = diff_payloads(
+            "metrics", a.snapshot(), "metrics", b.snapshot(), 0.0
+        )
+        assert diff["regressions"] == []
+        deltas = {
+            row["key"]: row.get("delta") for row in diff["rows"]
+        }
+        assert deltas["hits{-}"] == 7
+
+
+class TestReportCli:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_render_and_json_modes(self, tmp_path, manifest, capsys):
+        path = self.write(tmp_path, "man.json", manifest)
+        assert main(["report", path]) == 0
+        assert "campaign 'report-unit'" in capsys.readouterr().out
+        assert main(["report", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "manifest"
+
+    def test_diff_exit_codes_follow_the_gate_flag(
+        self, tmp_path, manifest, capsys
+    ):
+        doctored = TestManifestDiff().doctor_coverage(manifest)
+        a = self.write(tmp_path, "a.json", manifest)
+        b = self.write(tmp_path, "b.json", doctored)
+        # Identical: exit 0 with or without the gate.
+        assert main(["report", "diff", a, a,
+                     "--fail-on-regression", "0"]) == 0
+        capsys.readouterr()
+        # Regressed but informational: still exit 0.
+        assert main(["report", "diff", a, b]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+        # Regressed and gated: exit 1.
+        assert main(["report", "diff", a, b,
+                     "--fail-on-regression", "0.01"]) == 1
+        capsys.readouterr()
+
+    def test_bad_inputs_exit_two(self, tmp_path, capsys):
+        junk = self.write(tmp_path, "junk.json", {})
+        assert main(["report", junk]) == 2
+        assert "unrecognized" in capsys.readouterr().err
+        assert main(["report", "diff", junk]) == 2
+        assert "exactly two files" in capsys.readouterr().err

@@ -1,0 +1,156 @@
+"""The span tracer: nesting, fake-clock schedules, caps, flattening."""
+
+import json
+import threading
+
+from repro.telemetry import (
+    NULL_SPAN,
+    SpanTracer,
+    Telemetry,
+    flatten_span_trees,
+    write_span_log,
+)
+
+
+class FakeClock:
+    """A monotonic clock tests advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSpanTracer:
+    def test_exact_timings_under_an_injected_clock(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("outer", task="t") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+            clock.advance(0.5)
+        assert outer.start == 0.0
+        assert outer.seconds == 1.75
+        [tree] = tracer.span_trees()
+        assert tree["name"] == "outer"
+        assert tree["attrs"] == {"task": "t"}
+        [child] = tree["children"]
+        assert child["name"] == "inner"
+        assert child["start"] == 1.0
+        assert child["seconds"] == 0.25
+
+    def test_siblings_attach_in_order(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("root"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        [tree] = tracer.span_trees()
+        assert [c["name"] for c in tree["children"]] == [
+            "first", "second",
+        ]
+
+    def test_annotate_attaches_mid_scope_attributes(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("batch") as span:
+            span.annotate(tasks=12)
+        assert tracer.span_trees()[0]["attrs"] == {"tasks": 12}
+
+    def test_max_spans_cap_hands_out_the_null_span(self):
+        tracer = SpanTracer(clock=FakeClock(), max_spans=2)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        extra = tracer.span("c")
+        assert extra is NULL_SPAN
+        with extra:  # still a working context manager
+            extra.annotate(ignored=True)
+        assert tracer.recorded == 2
+        assert tracer.dropped == 1
+        assert len(tracer.span_trees()) == 2
+
+    def test_threads_build_independent_trees(self):
+        tracer = SpanTracer(clock=FakeClock())
+
+        def work(name):
+            with tracer.span(name):
+                with tracer.span(f"{name}.child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        trees = tracer.span_trees()
+        # Four roots, each with exactly its own child: no tree ever
+        # adopted another thread's span.
+        assert sorted(t["name"] for t in trees) == [
+            "t0", "t1", "t2", "t3",
+        ]
+        for tree in trees:
+            assert [c["name"] for c in tree["children"]] == [
+                f"{tree['name']}.child"
+            ]
+
+    def test_clear_resets_the_cap_budget(self):
+        tracer = SpanTracer(clock=FakeClock(), max_spans=1)
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        with tracer.span("b"):
+            pass
+        assert [t["name"] for t in tracer.span_trees()] == ["b"]
+
+
+class TestFlattening:
+    def tree(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("job", test="MATS"):
+            clock.advance(1)
+            with tracer.span("batch"):
+                clock.advance(1)
+        return tracer.span_trees()
+
+    def test_flatten_is_preorder_with_depth_and_parent(self):
+        lines = list(flatten_span_trees(self.tree()))
+        assert [(l["name"], l["depth"], l["parent"]) for l in lines] == [
+            ("job", 0, None), ("batch", 1, "job"),
+        ]
+        assert lines[0]["attrs"] == {"test": "MATS"}
+        assert "attrs" not in lines[1]
+
+    def test_write_span_log_emits_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_span_log(self.tree(), str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "job"
+        assert parsed[1]["seconds"] == 1.0
+
+
+class TestTelemetryFacade:
+    def test_injected_clock_feeds_both_surfaces(self):
+        clock = FakeClock()
+        telemetry = Telemetry(clock=clock)
+        assert telemetry.enabled
+        started = telemetry.clock()
+        with telemetry.span("scope"):
+            clock.advance(2.0)
+        telemetry.histogram("lat").observe(telemetry.clock() - started)
+        snapshot = telemetry.snapshot()
+        entry = snapshot["metrics"]["lat"]["series"][0]
+        assert entry["sum"] == 2.0
+        assert telemetry.span_trees()[0]["seconds"] == 2.0
