@@ -23,7 +23,13 @@ Compared paths:
 * **service warm read** -- the same two-client warm start through a
   live verdict-service daemon (``repro serve``) over its Unix socket:
   no client opens SQLite, the second client answers every verdict
-  from the service (``table3_size3_service`` in the JSON record).
+  from the service (``table3_size3_service`` in the JSON record);
+* **service async warm read** -- the event-loop daemon measured
+  against its own SQLite data path: the hot-LRU warm read vs the same
+  daemon with the hot tier disabled (``--hot-lru-size 0``, which is
+  the threaded daemon's warm-read throughput), plus one pipelined
+  burst vs chunked blocking round trips
+  (``table3_size3_service_async``).
 
 ``python benchmarks/bench_kernel.py`` prints the comparison table and
 writes the machine-readable ``BENCH_kernel.json`` next to the repo
@@ -53,7 +59,8 @@ from repro.simulator.tilengine import numpy_available, numpy_version
 from repro.store.campaign import CampaignSpec, normalized_manifest, \
     run_campaign
 from repro.store.resilience import RetryPolicy
-from repro.store.service import VerdictService
+from repro.store.service import ServiceStore, VerdictService, _wire_key
+from repro.store.store import decode_verdict
 from repro.march.catalog import (
     MARCH_A,
     MARCH_B,
@@ -95,6 +102,13 @@ REQUIRED_WARM_SPEEDUP = 3.0
 #: with ``--store`` vs. the first (the PR's measured ratio is ~8-15x;
 #: 3x is the regression guard so slow shared CI disks do not flake).
 REQUIRED_STORE_WARM_SPEEDUP = 3.0
+#: Acceptance floor: the event-loop daemon's hot-LRU warm read vs the
+#: same daemon with the hot tier disabled (``--hot-lru-size 0``: every
+#: read answered from SQLite, which is the threaded daemon's warm-read
+#: data path).  1.0x is the contract -- the async rework must never be
+#: slower than what it replaced -- and the measured ratio, recorded as
+#: ``hot_lru_speedup``, is the trajectory number.
+REQUIRED_HOT_LRU_SPEEDUP = 1.0
 #: Acceptance floor: bit-parallel cold vs. serial cold at SIZE_LARGE
 #: (the PR's target is >= 10x; 3x is the regression guard so slow
 #: shared CI runners do not flake).
@@ -452,6 +466,104 @@ def measure_service_retry_read():
     )
 
 
+def measure_service_async_read():
+    """Warm Table 3 reads through the event-loop daemon, three ways.
+
+    Returns ``(no_lru, hot_lru, pipeline)``:
+
+    * ``no_lru`` -- ``(seconds, matrix_json)`` with the hot tier
+      disabled (``hot_lru_size=0``): every read answered from SQLite,
+      which is the threaded daemon's warm-read data path and therefore
+      the throughput the async rework must not regress;
+    * ``hot_lru`` -- the same warm read with the default hot LRU and
+      the working set faulted in: every read a dictionary hit inside
+      the daemon, SQLite untouched;
+    * ``pipeline`` -- ``(round_trips_s, pipelined_s, frames)`` for the
+      same verdict population fetched as chunked blocking round trips
+      vs one pipelined burst of the identical ``get_many`` frames.
+    """
+    faults = table3_faults()
+
+    def warm_read(service):
+        kernel = SimulationKernel(backend="serial", store=service.url)
+        try:
+            return kernel.detection_matrix(TESTS, faults, SIZE)
+        finally:
+            kernel.close()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = pathlib.Path(scratch)
+        store_path = root / "service-store.sqlite"
+        sock = root / "verdict.sock"
+        service = VerdictService(store_path, sock, hot_lru_size=0)
+        service.start()
+        try:
+            warm_read(service)  # populate: simulate once, write through
+            no_lru_seconds, no_lru_matrix = _best_of(3, warm_read, service)
+        finally:
+            service.stop()
+        service = VerdictService(store_path, sock)
+        service.start()
+        try:
+            warm_read(service)  # fault the working set into the hot tier
+            hot_seconds, hot_matrix = _best_of(3, warm_read, service)
+            pipeline_record = measure_pipelined_reads(service, faults)
+        finally:
+            service.stop()
+    return (
+        (no_lru_seconds, json.dumps(no_lru_matrix, sort_keys=True)),
+        (hot_seconds, json.dumps(hot_matrix, sort_keys=True)),
+        pipeline_record,
+    )
+
+
+def measure_pipelined_reads(service, faults, chunk=16):
+    """Chunked blocking round trips vs one pipelined burst.
+
+    The key population is recovered from an in-memory kernel run of
+    the same workload (byte-identical to the served verdicts by the
+    service guards), then fetched twice through one client: a
+    ``get_many`` per chunk waiting each round trip out, and the
+    identical frames down :meth:`ServiceStore.pipeline` back-to-back.
+    Returns ``(round_trips_s, pipelined_s, frames)`` after asserting
+    both reads returned the same verdicts.
+    """
+    memory = SimulationKernel()
+    memory.detection_matrix(TESTS, faults, SIZE)
+    keys = sorted(memory.cache.snapshot(), key=_wire_key)
+    chunks = [keys[i:i + chunk] for i in range(0, len(keys), chunk)]
+    frames = [
+        {"op": "get_many", "keys": [_wire_key(key) for key in batch]}
+        for batch in chunks
+    ]
+
+    def round_trips(client):
+        found = {}
+        for batch in chunks:
+            found.update(client.get_many(batch))
+        return found
+
+    def pipelined(client):
+        found = {}
+        for response in client.pipeline(frames):
+            assert response.get("ok"), f"pipelined read refused: {response}"
+            for row in response.get("found", ()):
+                found[tuple(row[:4])] = decode_verdict(row[4])
+        return found
+
+    client = ServiceStore(service.url)
+    try:
+        round_trip_seconds, sequential = _best_of(3, round_trips, client)
+        pipelined_seconds, piped = _best_of(3, pipelined, client)
+    finally:
+        client.close()
+    assert len(sequential) == len(keys), "round-trip read lost verdicts"
+    assert piped == {
+        tuple(_wire_key(key)): value for key, value in sequential.items()
+    }, "pipelined read diverged from blocking round trips"
+    return round_trip_seconds, pipelined_seconds, len(frames)
+
+
 # -- pytest-benchmark entry points --------------------------------------------
 
 
@@ -666,6 +778,30 @@ def test_service_retry_read_guard():
     )
 
 
+def test_service_async_read_guard():
+    """Acceptance criterion of the event-loop daemon: with the hot LRU
+    on, the warm Table 3 read is at least as fast as the same daemon
+    answering from SQLite (the threaded daemon's warm-read data path),
+    and byte-identical to in-memory simulation either way."""
+    (no_lru_seconds, no_lru_matrix), (hot_seconds, hot_matrix), piped = (
+        measure_service_async_read()
+    )
+    assert hot_matrix == no_lru_matrix, "hot-LRU verdicts diverged"
+    in_memory = json.dumps(
+        SimulationKernel().detection_matrix(TESTS, table3_faults(), SIZE),
+        sort_keys=True,
+    )
+    assert hot_matrix == in_memory, "service diverged from in-memory"
+    speedup = no_lru_seconds / hot_seconds
+    assert speedup >= REQUIRED_HOT_LRU_SPEEDUP, (
+        f"hot-LRU warm read only {speedup:.2f}x the SQLite data path"
+        f" ({hot_seconds * 1e3:.2f} ms vs {no_lru_seconds * 1e3:.2f} ms)"
+    )
+    round_trip_seconds, pipelined_seconds, frames = piped
+    assert frames >= 2, "pipelining measured on a single frame"
+    assert pipelined_seconds > 0 and round_trip_seconds > 0
+
+
 def test_fanout_record_marks_unenforced_guard():
     """The bench record must flag a skipped fan-out guard: a sub-1x
     ratio measured on a 1-CPU runner is a skipped check, not a
@@ -760,6 +896,11 @@ def collect_benchmarks():
     (retry_warm_seconds, _), (retry_read_seconds, _), retry_count = (
         measure_service_retry_read()
     )
+    (
+        (async_no_lru_seconds, _),
+        (async_hot_seconds, _),
+        (async_round_trip_seconds, async_pipelined_seconds, async_frames),
+    ) = measure_service_async_read()
     fanout_sequential_seconds, _ = measure_campaign_fanout(1)
     fanout_parallel_seconds, _ = measure_campaign_fanout(FANOUT_JOBS)
     cpus = os.cpu_count() or 1
@@ -777,6 +918,7 @@ def collect_benchmarks():
             ),
             "required_tiled_cold_speedup": REQUIRED_TILED_SPEEDUP,
             "required_store_warm_speedup": REQUIRED_STORE_WARM_SPEEDUP,
+            "required_hot_lru_speedup": REQUIRED_HOT_LRU_SPEEDUP,
             "required_campaign_fanout_speedup": REQUIRED_FANOUT_SPEEDUP,
             "campaign_fanout_min_cpus": FANOUT_MIN_CPUS,
             "cold_wall_clock_ceiling_seconds": COLD_WALL_CLOCK_CEILING,
@@ -870,6 +1012,28 @@ def collect_benchmarks():
                 "reconnect_overhead_ratio": (
                     retry_read_seconds / retry_warm_seconds
                 ),
+            },
+            "table3_size3_service_async": {
+                "tests": len(TESTS),
+                "fault_cases": len(faults.instances(SIZE)),
+                "size": SIZE,
+                "backend": "serial",
+                "transport": "unix-socket",
+                "daemon": "event-loop",
+                "pipeline_frames": async_frames,
+                "seconds": {
+                    "warm_read_sqlite_path": async_no_lru_seconds,
+                    "warm_read_hot_lru": async_hot_seconds,
+                    "chunked_round_trips": async_round_trip_seconds,
+                    "pipelined_burst": async_pipelined_seconds,
+                },
+                "hot_lru_speedup": (
+                    async_no_lru_seconds / async_hot_seconds
+                ),
+                "pipelining_speedup": (
+                    async_round_trip_seconds / async_pipelined_seconds
+                ),
+                "guard_enforced": True,
             },
             "campaign_fanout": {
                 "jobs": len(fanout_spec().jobs()),
@@ -1033,6 +1197,30 @@ def main():
         f"  {'warm read + reconnect':26s}"
         f" {retry['seconds']['warm_client_through_reconnect'] * 1e3:9.2f} ms"
         f"   {retry['reconnect_overhead_ratio']:7.2f}x overhead"
+    )
+    async_record = payload["workloads"]["table3_size3_service_async"]
+    print(
+        f"verdict-service async warm read ({async_record['tests']} tests x"
+        f" {async_record['fault_cases']} cases, event-loop daemon,"
+        f" {async_record['pipeline_frames']} pipelined frames)"
+    )
+    print(
+        f"  {'warm read (SQLite path)':26s}"
+        f" {async_record['seconds']['warm_read_sqlite_path'] * 1e3:9.2f} ms"
+    )
+    print(
+        f"  {'warm read (hot LRU)':26s}"
+        f" {async_record['seconds']['warm_read_hot_lru'] * 1e3:9.2f} ms"
+        f"   {async_record['hot_lru_speedup']:7.1f}x"
+    )
+    print(
+        f"  {'chunked round trips':26s}"
+        f" {async_record['seconds']['chunked_round_trips'] * 1e3:9.2f} ms"
+    )
+    print(
+        f"  {'pipelined burst':26s}"
+        f" {async_record['seconds']['pipelined_burst'] * 1e3:9.2f} ms"
+        f"   {async_record['pipelining_speedup']:7.1f}x"
     )
     fanout = payload["workloads"]["campaign_fanout"]
     print(

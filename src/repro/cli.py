@@ -409,6 +409,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         args.socket,
         idle_timeout=args.idle_timeout,
         checkpoint_interval=args.checkpoint_interval,
+        hot_lru_size=args.hot_lru_size,
+        max_clients=args.max_clients,
+        quota=args.quota,
     )
     service.start()
 
@@ -577,8 +580,12 @@ def cmd_store(args: argparse.Namespace) -> int:
         from .store.service import ServiceStore
 
         with ServiceStore(args.socket) as client:
-            payload = client.shutdown_server()
-        emit(payload, f"verdict service on {args.socket} stopping")
+            payload = client.shutdown_server(drain=args.drain)
+        emit(payload, (
+            f"verdict service on {args.socket} "
+            + ("draining (in-flight batches finish, then it stops)"
+               if args.drain else "stopping")
+        ))
         return 0
 
     if args.store_command == "merge":
@@ -799,11 +806,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(fn=cmd_report)
 
+    from .store.service import (
+        DEFAULT_CHECKPOINT_INTERVAL_SECONDS,
+        DEFAULT_HOT_LRU_SIZE,
+        DEFAULT_IDLE_TIMEOUT_SECONDS,
+        DEFAULT_MAX_CLIENTS,
+    )
+
     serve = sub.add_parser(
         "serve",
         help="run the verdict-service daemon: one process owns the"
              " writable store, every client talks to it over a Unix"
              " socket instead of opening SQLite",
+        epilog="The daemon runs a single-threaded event loop serving"
+               " pipelined length-prefixed JSON frames; the wire"
+               " contract is specified in docs/PROTOCOL.md and the"
+               " operator's runbook (start/stop, tuning, liveness"
+               " probing, drain-then-exit rolling restarts) is"
+               " docs/OPERATIONS.md.",
     )
     serve.add_argument("store", help="store file (SQLite) the daemon owns")
     serve.add_argument(
@@ -812,22 +832,55 @@ def build_parser() -> argparse.ArgumentParser:
              " clients connect with --store repro+unix://SOCK",
     )
     serve.add_argument(
-        "--idle-timeout", type=float, default=900.0, metavar="SECONDS",
+        "--idle-timeout", type=float,
+        default=DEFAULT_IDLE_TIMEOUT_SECONDS, metavar="SECONDS",
         help="reap a client connection after SECONDS without a request"
              " (its ledger entry retires cleanly; retrying clients"
-             " reconnect transparently); 0 disables (default 900)",
+             " reconnect transparently); 0 disables"
+             f" (default {DEFAULT_IDLE_TIMEOUT_SECONDS:g} s)",
     )
     serve.add_argument(
-        "--checkpoint-interval", type=float, default=60.0,
+        "--checkpoint-interval", type=float,
+        default=DEFAULT_CHECKPOINT_INTERVAL_SECONDS,
         metavar="SECONDS",
         help="fold the store's WAL back into the main file every"
-             " SECONDS in the background; 0 disables (default 60)",
+             " SECONDS in the background; 0 disables"
+             f" (default {DEFAULT_CHECKPOINT_INTERVAL_SECONDS:g} s)",
+    )
+    serve.add_argument(
+        "--hot-lru-size", type=int, default=DEFAULT_HOT_LRU_SIZE,
+        metavar="N",
+        help="keep the N most recently served verdicts in an in-memory"
+             " hot tier so read-mostly traffic never touches SQLite"
+             " (hits surface as repro.service.hot_lru.* metrics);"
+             f" 0 disables (default {DEFAULT_HOT_LRU_SIZE})",
+    )
+    serve.add_argument(
+        "--max-clients", type=int, default=DEFAULT_MAX_CLIENTS,
+        metavar="N",
+        help="refuse connections beyond N concurrent clients (the"
+             " refused client sees a transient hangup and retries);"
+             f" 0 removes the cap (default {DEFAULT_MAX_CLIENTS})",
+    )
+    serve.add_argument(
+        "--quota", type=int, default=None, metavar="N",
+        help="per-tenant cap on data-plane requests"
+             " (get_many/put_many/stats/merge/compact); requests over"
+             " the cap are refused with a permanent error; liveness ops"
+             " (ping/health/metrics/shutdown) are never metered"
+             " (default: unlimited)",
     )
     serve.set_defaults(fn=cmd_serve)
 
     store = sub.add_parser(
         "store",
         help="inspect and maintain a persistent fault-dictionary store",
+        epilog="Daemon-facing subcommands (--socket) talk to a `repro"
+               " serve` daemon, which reaps idle clients after"
+               f" {DEFAULT_IDLE_TIMEOUT_SECONDS:g} s and checkpoints"
+               f" its WAL every {DEFAULT_CHECKPOINT_INTERVAL_SECONDS:g}"
+               " s by default; see docs/OPERATIONS.md for the runbook"
+               " and docs/PROTOCOL.md for the wire contract.",
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
     store_stats = store_sub.add_parser(
@@ -884,6 +937,13 @@ def build_parser() -> argparse.ArgumentParser:
     store_shutdown.add_argument(
         "--socket", metavar="SOCK", required=True,
         help="Unix socket the verdict service listens on",
+    )
+    store_shutdown.add_argument(
+        "--drain", action="store_true",
+        help="drain-then-exit (rolling restart): immediately refuse new"
+             " connections, finish the batches already received from"
+             " every client, checkpoint the WAL, then stop -- see"
+             " docs/OPERATIONS.md",
     )
     store_ping = store_sub.add_parser(
         "ping",

@@ -25,7 +25,13 @@ degraded execution mode, shared by every store-shaped client:
   surviving spills back into the main dictionary at the end -- zero
   verdicts lost, the job records ``degraded`` instead of an error.
 
-This module sits below :mod:`repro.store.service` (which subclasses
+Place in the store stack
+------------------------
+This module is the **policy layer**: it owns the transient/permanent
+failure split the wire protocol commits to (``docs/PROTOCOL.md`` §5)
+and the degraded mode the runbook's recovery procedure builds on
+(``docs/OPERATIONS.md`` §6).  It sits below
+:mod:`repro.store.service` (which subclasses
 :class:`TransientStoreError` into its error taxonomy) and imports only
 :mod:`repro.store.store` -- no import cycles.
 """

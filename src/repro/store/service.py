@@ -16,14 +16,14 @@ Protocol
 Length-prefixed JSON frames: a 4-byte big-endian byte count, then one
 UTF-8 JSON object.  Requests carry an ``"op"`` field::
 
-    {"op": "ping"}
+    {"op": "ping", "tenant": "team-a"}
     {"op": "get_many", "keys": [[signature, case, size, domain], ...]}
     {"op": "put_many", "rows": [[signature, case, size, domain, verdict], ...]}
     {"op": "stats"}
     {"op": "health"}
     {"op": "metrics"}
     {"op": "compact", "max_rows": N, "max_age": S, "vacuum": true}
-    {"op": "shutdown"}
+    {"op": "shutdown", "drain": true}
 
 Responses are JSON objects with ``"ok"``; errors come back as
 ``{"ok": false, "error": "..."}`` instead of killing the connection.
@@ -34,14 +34,24 @@ the handshake: a verdict service always answers with the
 :data:`SERVICE_MAGIC` tag and its protocol generation, so a client (or
 a second server racing for the socket) can tell a live service from a
 stale socket file or a foreign listener -- foreign sockets are refused,
-never unlinked.
+never unlinked.  Requests on one connection may be **pipelined**: a
+client may send any number of frames back-to-back without waiting, and
+the server answers every frame, in order, exactly once.  The normative
+specification of all of this lives in ``docs/PROTOCOL.md``; the
+`docs-contract` CI job keeps that document and this module in lockstep.
 
 Topology
 --------
 * :class:`VerdictService` -- the server (``repro serve STORE --socket
-  SOCK``): threaded, one handler per client, every batch funnelled
-  through the store's existing lock, per-client hit/miss/write
-  counters, WAL checkpoint on graceful shutdown.
+  SOCK``): a **single-threaded selectors event loop** -- non-blocking
+  accept/read/write, a per-connection frame buffer feeding a pipelined
+  dispatch, an in-daemon hot LRU in front of SQLite so read-mostly
+  traffic never touches disk, per-client/tenant ledger namespaces with
+  optional request quotas, and drain-then-exit rolling-restart support
+  (``shutdown {"drain": true}``).  Every batch still lands on the store
+  through the store's own lock, so the concurrency discipline is
+  unchanged from the threaded daemon -- there is simply no longer a
+  thread per client to schedule or leak.
 * :class:`ServiceStore` -- the client: the same
   ``get``/``get_many``/``put``/``put_many``/``stats`` surface as
   :class:`~repro.store.store.FaultDictionaryStore`, so
@@ -57,21 +67,24 @@ Topology
   backoff under an injectable
   :class:`~repro.store.resilience.RetryPolicy`, while permanent
   errors (protocol mismatch, foreign listener, a refused request)
-  fail fast no matter the retry budget.
+  fail fast no matter the retry budget.  :meth:`ServiceStore.pipeline`
+  exposes the wire protocol's pipelining to callers that want many
+  requests in flight on one connection.
 
 Resilience (PR 7)
 -----------------
-The daemon reaps idle clients (``--idle-timeout``: a per-connection
-read timeout replaces the forever-blocking read, closing the
-connection and retiring its ledger entry; retrying clients reconnect
-transparently), checkpoints its WAL on a background timer
+The daemon reaps idle clients (``--idle-timeout``: connections quiet
+past the budget are closed and their ledger entries retired; retrying
+clients reconnect transparently), checkpoints its WAL on a loop timer
 (``--checkpoint-interval``) so a SIGKILL loses at most the last
 interval's WAL growth, and answers a ``health`` op (uptime, connection
 counts, reaped/checkpoint/error counters) next to ``ping`` -- the
 ``repro store ping`` liveness probe.  A ``merge`` op folds a
 server-local store file (in practice a campaign worker's degraded
 spill shard) into the served dictionary without a second writer ever
-opening it.
+opening it.  The operator's view of all of this -- start/stop, lock
+semantics, tuning, probing, rolling restarts -- is written down in
+``docs/OPERATIONS.md``.
 
 ``repro campaign --jobs N --store repro+unix://...`` is the designated
 cross-host fan-out substrate: N concurrent writers become N socket
@@ -88,11 +101,13 @@ from __future__ import annotations
 import fcntl
 import json
 import os
+import selectors
 import socket
 import stat
 import struct
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import (
     Any,
@@ -124,11 +139,34 @@ from .store import (
 
 #: Generation of the wire protocol.  Bump on incompatible frame or op
 #: changes; a client refuses to talk to a server of another generation.
+#: Additive evolution (new ops, new optional request fields, new
+#: response fields) stays within a generation -- see docs/PROTOCOL.md.
 PROTOCOL_VERSION = 1
 
 #: The handshake tag every ping answer carries.  A listener that does
 #: not identify with it is a foreign server: refused, never replaced.
 SERVICE_MAGIC = "repro-verdict-service"
+
+#: Every op the daemon dispatches.  ``benchmarks/check_protocol_doc.py``
+#: asserts this registry and the op table in docs/PROTOCOL.md agree, so
+#: the spec cannot silently drift from the implementation.
+SERVICE_OPS = (
+    "ping",
+    "get_many",
+    "put_many",
+    "stats",
+    "health",
+    "metrics",
+    "merge",
+    "compact",
+    "shutdown",
+)
+
+#: Ops never counted against a tenant's request quota: liveness and
+#: control-plane traffic (an operator must always be able to probe and
+#: stop a daemon whose tenants are over budget).  Data-plane ops --
+#: get_many/put_many/stats/merge/compact -- are metered.
+QUOTA_EXEMPT_OPS = frozenset({"ping", "health", "metrics", "shutdown"})
 
 #: Hard ceiling on one frame's body.  Real batches are a few megabytes
 #: at most; a larger announced length means the peer is not speaking
@@ -140,10 +178,10 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: dictionary is the slowest legitimate request.
 DEFAULT_TIMEOUT_SECONDS = 120.0
 
-#: Per-connection idle read timeout on the *server* side.  Generous --
-#: a campaign worker legitimately goes quiet for minutes while its
+#: Per-connection idle budget on the *server* side.  Generous -- a
+#: campaign worker legitimately goes quiet for minutes while its
 #: backend simulates between store batches -- but finite: one idle (or
-#: wedged) client may no longer pin a handler thread forever.  Reaped
+#: wedged) client may no longer pin server state forever.  Reaped
 #: clients lose only a socket; a retrying :class:`ServiceStore`
 #: reconnects transparently on its next request.
 DEFAULT_IDLE_TIMEOUT_SECONDS = 900.0
@@ -153,6 +191,22 @@ DEFAULT_IDLE_TIMEOUT_SECONDS = 900.0
 #: WAL a SIGKILL can leave behind (the data is durable either way;
 #: this bounds recovery work and WAL file growth).
 DEFAULT_CHECKPOINT_INTERVAL_SECONDS = 60.0
+
+#: Entry cap of the daemon's in-memory hot LRU.  Entries are one
+#: canonical encoded verdict each (tens of bytes); the default is
+#: sized so a read-mostly campaign's working set is served without
+#: touching SQLite at all.  ``0`` disables the tier.
+DEFAULT_HOT_LRU_SIZE = 65536
+
+#: Concurrent-connection ceiling.  The event loop itself scales far
+#: past this; the cap bounds per-connection buffer memory and gives
+#: operators back-pressure they can see (``rejected_full`` counter).
+#: Over-cap connects are closed immediately -- a retrying client sees
+#: a transient hangup and backs off.
+DEFAULT_MAX_CLIENTS = 512
+
+#: Ledger namespace for connections that never named a tenant.
+DEFAULT_TENANT = "default"
 
 #: How many *disconnected* clients keep an individual entry in the
 #: per-client ledger.  A long-lived daemon serves an unbounded client
@@ -164,6 +218,9 @@ DEFAULT_CHECKPOINT_INTERVAL_SECONDS = 60.0
 MAX_CLIENT_LEDGER = 4096
 
 _HEADER = struct.Struct(">I")
+
+#: Selector registration tag for the loop's self-wake pipe.
+_WAKE = "wake"
 
 
 class ServiceError(StoreError):
@@ -206,9 +263,13 @@ def service_url(socket_path: Union[str, Path]) -> str:
 # -- framing ---------------------------------------------------------------------
 
 
-def _send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+def _encode_frame(payload: Dict[str, Any]) -> bytes:
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    return _HEADER.pack(len(body)) + body
+
+
+def _send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    sock.sendall(_encode_frame(payload))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
@@ -277,7 +338,9 @@ class ServiceStore:
     :class:`StoreStats` counters (this client's view; the server keeps
     its own per-client ledger).  ``readonly=True`` is enforced
     client-side exactly like the file store's readonly mode: puts
-    become counted no-ops and ``compact`` is refused.
+    become counted no-ops and ``compact`` is refused.  ``tenant``
+    names the ledger namespace this client's requests are accounted
+    (and, when the daemon enforces ``--quota``, metered) under.
 
     >>> client = ServiceStore("repro+unix:///tmp/verdict.sock")  # doctest: +SKIP
     >>> client.get_many(keys)                                    # doctest: +SKIP
@@ -289,11 +352,15 @@ class ServiceStore:
         readonly: bool = False,
         timeout: float = DEFAULT_TIMEOUT_SECONDS,
         retry: Optional[RetryPolicy] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self.socket_path = service_socket_path(target)
         self.url = service_url(self.socket_path)
         self.readonly = readonly
         self.timeout = timeout
+        #: Tenant namespace announced in the handshake (``None``:
+        #: the server's :data:`DEFAULT_TENANT`).
+        self.tenant = tenant
         #: Transient-failure policy; default rides out a short daemon
         #: restart.  ``RetryPolicy.no_retry()`` restores fail-fast.
         self.retry = retry if retry is not None else RetryPolicy()
@@ -307,6 +374,12 @@ class ServiceStore:
         self._sock: Optional[socket.socket] = None
 
     # -- connection -------------------------------------------------------------
+
+    def _hello_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "ping"}
+        if self.tenant:
+            payload["tenant"] = self.tenant
+        return payload
 
     def _connect(self) -> socket.socket:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -326,7 +399,7 @@ class ServiceStore:
         # foreign magic, another protocol generation) is definitely
         # not our service -- permanent, fail fast, never unlinked.
         try:
-            _send_frame(sock, {"op": "ping"})
+            _send_frame(sock, self._hello_payload())
             hello = _recv_frame(sock)
         except ServiceError as error:
             sock.close()
@@ -372,24 +445,49 @@ class ServiceStore:
             except OSError:  # pragma: no cover - close is best-effort
                 pass
 
-    def _attempt(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """One round trip on (at most) one connection.
+    def _attempt_pipeline(
+        self, payloads: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """One pipelined round trip on (at most) one connection.
 
-        Raises :class:`ServiceUnavailableError` for everything a fresh
+        All request frames are written back-to-back, then all response
+        frames are read in order -- the server guarantees one answer
+        per frame, in request order.  Raises
+        :class:`ServiceUnavailableError` for everything a fresh
         connection could plausibly cure -- the socket died, the server
-        hung up mid-request, or the stream desynced *after* a
+        hung up mid-pipeline, or the stream desynced *after* a
         successful handshake (the handshake proved the peer speaks the
         protocol, so mid-stream garbage is transport corruption; the
         reconnect's fresh handshake re-verifies the peer and fails
-        fast if it really turned foreign).  A well-framed ``ok: false``
-        answer is the server refusing the request: permanent.
+        fast if it really turned foreign).  Well-framed ``ok: false``
+        answers are returned in place, not raised: in a pipeline only
+        the caller knows whether one refused request poisons the rest.
         """
         if self._sock is None:
             self._sock = self._connect()
         try:
-            _send_frame(self._sock, payload)
-            response = _recv_frame(self._sock)
+            blob = bytearray()
+            for payload in payloads:
+                blob += _encode_frame(payload)
+            self._sock.sendall(blob)
+            responses: List[Dict[str, Any]] = []
+            for _ in payloads:
+                response = _recv_frame(self._sock)
+                if response is None:
+                    # Server went away mid-pipeline (restart, shutdown,
+                    # reap).  The whole batch is retried: every op is
+                    # idempotent, so at-least-once delivery is safe.
+                    self._drop_connection()
+                    raise ServiceUnavailableError(
+                        f"verdict service at {self.socket_path} closed"
+                        f" the connection {len(responses)} frame(s) into"
+                        f" a {len(payloads)}-frame pipeline"
+                    )
+                responses.append(response)
+            return responses
         except ServiceError as error:
+            if isinstance(error, ServiceUnavailableError):
+                raise
             # Broken framing: whatever else sits in the stream is
             # unusable (e.g. the body of an oversize frame).  Drop the
             # connection so the retry starts clean instead of reading
@@ -405,19 +503,34 @@ class ServiceStore:
                 f"lost the verdict service at {self.socket_path}:"
                 f" {error}"
             ) from error
-        if response is None:
-            # Server went away mid-request (restart, shutdown, reap).
-            self._drop_connection()
-            raise ServiceUnavailableError(
-                f"verdict service at {self.socket_path} closed the"
-                " connection"
-            )
+
+    def _attempt(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip; a well-framed ``ok: false`` answer is the
+        server refusing the request: permanent, raised as
+        :class:`ServiceError`."""
+        response = self._attempt_pipeline([payload])[0]
         if not response.get("ok"):
             raise ServiceError(
                 response.get("error")
                 or "verdict service refused the request"
             )
         return response
+
+    def _call_with_retry(self, attempt: Any) -> Any:
+        def on_retry(
+            attempt_no: int, delay: float, error: BaseException
+        ) -> None:
+            self.retries += 1
+
+        with self._lock:
+            try:
+                return self.retry.call(attempt, on_retry=on_retry)
+            except RetryExhaustedError as error:
+                raise ServiceUnavailableError(
+                    f"verdict service at {self.socket_path} still"
+                    f" unavailable after {error.attempts} attempt(s)"
+                    f" over {error.elapsed:.2f}s: {error.last_error}"
+                ) from error
 
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """One request under the retry policy.
@@ -430,22 +543,28 @@ class ServiceStore:
         idempotent batch of canonical upserts, so at-least-once
         delivery cannot corrupt the dictionary.
         """
-        def on_retry(
-            attempt: int, delay: float, error: BaseException
-        ) -> None:
-            self.retries += 1
+        return self._call_with_retry(lambda: self._attempt(payload))
 
-        with self._lock:
-            try:
-                return self.retry.call(
-                    lambda: self._attempt(payload), on_retry=on_retry
-                )
-            except RetryExhaustedError as error:
-                raise ServiceUnavailableError(
-                    f"verdict service at {self.socket_path} still"
-                    f" unavailable after {error.attempts} attempt(s)"
-                    f" over {error.elapsed:.2f}s: {error.last_error}"
-                ) from error
+    def pipeline(
+        self, payloads: Sequence[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Send many request payloads down one connection back-to-back
+        and return their responses in request order.
+
+        This is the wire protocol's pipelining surface: no waiting
+        between frames, one response per frame, order preserved.  The
+        whole pipeline is one retry unit -- a transient failure
+        anywhere replays *all* frames on a fresh connection (safe:
+        every op is idempotent).  Responses are returned raw,
+        including any ``{"ok": false}`` refusals; callers inspect per
+        frame.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        return self._call_with_retry(
+            lambda: self._attempt_pipeline(payloads)
+        )
 
     # -- lookups ----------------------------------------------------------------
 
@@ -506,27 +625,29 @@ class ServiceStore:
 
     def ping(self) -> Dict[str, Any]:
         """Handshake round trip; returns the server's identity frame."""
-        response = self._request({"op": "ping"})
+        response = self._request(self._hello_payload())
         self.server = response
         return response
 
     def server_stats(self) -> Dict[str, Any]:
         """The server's full ledger: rows, store counters, per-client
-        hit/miss/write counters (``repro store stats --socket``)."""
+        and per-tenant hit/miss/write counters (``repro store stats
+        --socket``)."""
         response = self._request({"op": "stats"})
         return {k: v for k, v in response.items() if k != "ok"}
 
     def health(self) -> Dict[str, Any]:
         """The daemon's liveness report: uptime, connection counts,
-        the resilience counters (idle reaps, checkpoints, errors),
-        row population and service-time summary."""
+        the resilience counters (idle reaps, checkpoints, errors,
+        rejected/over-quota requests), hot-LRU occupancy, row
+        population and service-time summary."""
         response = self._request({"op": "health"})
         return {k: v for k, v in response.items() if k != "ok"}
 
     def metrics(self) -> Dict[str, Any]:
         """The daemon's full metrics-registry snapshot (op ``metrics``):
-        per-op request counters and service-time histograms, store
-        counters, WAL checkpoint timings, connection gauge."""
+        per-op request counters and service-time histograms, store and
+        hot-LRU counters, WAL checkpoint timings, connection gauge."""
         return self._request({"op": "metrics"})["metrics"]
 
     def merge_from(
@@ -584,9 +705,19 @@ class ServiceStore:
         })
         return response["compacted"]
 
-    def shutdown_server(self) -> Dict[str, Any]:
-        """Ask the daemon to stop gracefully (it checkpoints its WAL)."""
-        return self._request({"op": "shutdown"})
+    def shutdown_server(self, drain: bool = False) -> Dict[str, Any]:
+        """Ask the daemon to stop gracefully (it checkpoints its WAL).
+
+        ``drain=True`` requests the rolling-restart shutdown: the
+        daemon immediately refuses new connections, finishes the
+        batches already received from every connected client, flushes
+        their responses, checkpoints the WAL, and only then exits --
+        see docs/OPERATIONS.md.
+        """
+        payload: Dict[str, Any] = {"op": "shutdown"}
+        if drain:
+            payload["drain"] = True
+        return self._request(payload)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -609,22 +740,115 @@ class ServiceStore:
 # -- the server ------------------------------------------------------------------
 
 
+class _HotLru:
+    """The daemon's in-memory read tier: SimKey -> canonical encoded row.
+
+    Entries are the *wire* form of a verdict
+    (:func:`~repro.store.store.encode_verdict` output), so a hit is a
+    dict lookup away from the response frame -- no SQLite SELECT, no
+    decode/encode round trip.  Mutated only on the event-loop thread;
+    counters are plain ints read lock-free by metric collectors.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_rows")
+
+    def __init__(self, max_entries: int) -> None:
+        self.max_entries = max(0, int(max_entries or 0))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._rows: "OrderedDict[SimKey, str]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(self, key: "SimKey") -> Optional[str]:
+        if not self.max_entries:
+            return None
+        encoded = self._rows.get(key)
+        if encoded is None:
+            self.misses += 1
+            return None
+        self._rows.move_to_end(key)
+        self.hits += 1
+        return encoded
+
+    def put(self, key: "SimKey", encoded: str) -> None:
+        if not self.max_entries:
+            return
+        self._rows[key] = encoded
+        self._rows.move_to_end(key)
+        while len(self._rows) > self.max_entries:
+            self._rows.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop entries (counters survive: they are lifetime totals)."""
+        self._rows.clear()
+
+
+class _Connection:
+    """One client connection's event-loop state: socket, frame buffers,
+    ledger entry, idle clock."""
+
+    __slots__ = (
+        "client_id", "sock", "inbuf", "outbuf", "last_activity",
+        "counters", "read_closed", "events",
+    )
+
+    def __init__(
+        self,
+        client_id: int,
+        sock: socket.socket,
+        now: float,
+        counters: Dict[str, Any],
+    ) -> None:
+        self.client_id = client_id
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.last_activity = now
+        self.counters = counters
+        #: True once this side will read no more frames (drain mode);
+        #: the connection closes as soon as ``outbuf`` flushes.
+        self.read_closed = False
+        self.events = selectors.EVENT_READ
+
+
 class VerdictService:
     """The daemon behind ``repro serve``: one writable store, many
-    socket clients.
+    socket clients, one thread.
 
-    Threaded: an accept loop hands each client to its own handler
-    thread, and every batch lands on the store through the store's own
-    lock -- exactly the concurrency discipline a multi-threaded direct
-    opener would get, minus the per-client SQLite connections.
+    A single-threaded ``selectors`` event loop owns every socket:
+    non-blocking accept/read/write, per-connection frame buffers, and
+    pipelined dispatch -- every complete frame in a connection's read
+    buffer is answered in order before the loop moves on, so clients
+    may stream batches back-to-back without waiting.  Store batches
+    still pass through the store's own lock; the loop simply replaced
+    the thread-per-client topology (and its scheduling/leak failure
+    modes) without changing the concurrency discipline.
+
+    In front of SQLite sits an in-memory hot LRU
+    (:data:`DEFAULT_HOT_LRU_SIZE` canonical rows, ``--hot-lru-size``):
+    read-mostly traffic is served without touching disk, counted as
+    ``repro.service.hot_lru.*`` in the metrics registry.  Connections
+    are accounted per client *and* per tenant (the handshake ping may
+    carry ``tenant``); ``--quota`` meters each tenant's data-plane
+    requests and refuses the excess with a permanent error.
+    ``--max-clients`` bounds concurrent connections (over-cap connects
+    are hung up on: transient to a retrying client).
 
     Lifecycle: :meth:`start` claims the socket (a *stale* socket file
     left by a dead server is reclaimed; a live verdict service or a
     foreign listener is refused) and opens the store;
     :meth:`request_stop` flags shutdown from a signal handler or the
-    ``shutdown`` op; :meth:`stop` tears everything down -- handler
-    threads joined, store closed (checkpointing the WAL), socket
-    unlinked.  ``with VerdictService(...) as service:`` wraps the pair.
+    ``shutdown`` op; :meth:`stop` tears everything down -- loop thread
+    joined, store closed (checkpointing the WAL), socket unlinked.
+    ``shutdown {"drain": true}`` instead drains first: the listener
+    closes, batches already received are finished and flushed, the WAL
+    is checkpointed, and only then does the loop exit -- the
+    rolling-restart procedure in docs/OPERATIONS.md.
+    ``with VerdictService(...) as service:`` wraps the pair.
     """
 
     def __init__(
@@ -636,6 +860,9 @@ class VerdictService:
         checkpoint_interval: Optional[float] = (
             DEFAULT_CHECKPOINT_INTERVAL_SECONDS
         ),
+        hot_lru_size: int = DEFAULT_HOT_LRU_SIZE,
+        max_clients: Optional[int] = DEFAULT_MAX_CLIENTS,
+        quota: Optional[int] = None,
     ) -> None:
         self.store_path = Path(store_path)
         self.socket_path = (
@@ -644,31 +871,51 @@ class VerdictService:
             else self.store_path.with_name(self.store_path.name + ".sock")
         )
         self.timeout = timeout
-        #: Per-connection idle read timeout; ``None``/``0`` restores
-        #: the (leaky) block-forever behaviour.
+        #: Per-connection idle budget; ``None``/``0`` restores the
+        #: (leaky) keep-forever behaviour.
         self.idle_timeout = idle_timeout or None
         #: Background WAL-checkpoint period; ``None``/``0`` disables
         #: the timer (graceful shutdown still checkpoints).
         self.checkpoint_interval = checkpoint_interval or None
+        #: Concurrent-connection cap; ``None``/``0`` removes it.
+        self.max_clients = max_clients or None
+        #: Per-tenant cap on lifetime data-plane requests;
+        #: ``None``/``0`` disables metering.
+        self.quota = quota or None
         self.store: Optional[FaultDictionaryStore] = None
         self.started = False
         #: Per-instance override of :data:`MAX_CLIENT_LEDGER`.
         self.max_client_ledger = MAX_CLIENT_LEDGER
+        self._hot_lru = _HotLru(hot_lru_size)
         self._listener: Optional[socket.socket] = None
-        self._accept_thread: Optional[threading.Thread] = None
-        self._checkpoint_thread: Optional[threading.Thread] = None
-        self._handlers: Dict[int, threading.Thread] = {}
-        self._connections: Dict[int, socket.socket] = {}
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._wake_r: Optional[int] = None
+        self._wake_w: Optional[int] = None
+        self._connections: Dict[int, _Connection] = {}
         self._clients: Dict[int, Dict[str, Any]] = {}
+        self._tenants: Dict[str, Dict[str, int]] = {}
         self._retired = {
             "clients": 0, "requests": 0, "hits": 0, "misses": 0,
             "writes": 0,
         }
         self._client_seq = 0
         self._started_monotonic = 0.0
+        self._next_checkpoint = 0.0
+        #: ``None`` -> running; ``"hard"`` -> stop as soon as the
+        #: shutdown requester's ack flushes; ``"drain"`` -> finish
+        #: received batches, flush, checkpoint, then stop.
+        self._stopping: Optional[str] = None
+        self._stop_requester: Optional[int] = None
+        self._draining = False
+        self._drain_swept = False
         #: Resilience counters (under the state lock): idle clients
-        #: reaped, background checkpoints run, error answers sent.
-        self._counters = {"reaped_idle": 0, "checkpoints": 0, "errors": 0}
+        #: reaped, background checkpoints run, error answers sent,
+        #: over-cap connects refused, over-quota requests denied.
+        self._counters = {
+            "reaped_idle": 0, "checkpoints": 0, "errors": 0,
+            "rejected_full": 0, "quota_denied": 0,
+        }
         #: Always-live telemetry: a daemon is a long-running service,
         #: so per-request counters and service-time histograms cost
         #: microseconds against socket round trips and buy the
@@ -694,7 +941,10 @@ class VerdictService:
         being one increment behind.
         """
         registry = self.telemetry.registry
-        for field in ("reaped_idle", "checkpoints", "errors"):
+        for field in (
+            "reaped_idle", "checkpoints", "errors",
+            "rejected_full", "quota_denied",
+        ):
             registry.collector(
                 f"repro.service.{field}",
                 lambda field=field: [({}, self._counters[field])],
@@ -703,6 +953,23 @@ class VerdictService:
             "repro.service.connections",
             lambda: [({"state": "active"}, len(self._connections))],
             kind="gauge",
+        )
+        for field in ("hits", "misses", "evictions"):
+            registry.collector(
+                f"repro.service.hot_lru.{field}",
+                lambda field=field: [({}, getattr(self._hot_lru, field))],
+            )
+        registry.collector(
+            "repro.service.hot_lru.entries",
+            lambda: [({}, len(self._hot_lru))],
+            kind="gauge",
+        )
+        registry.collector(
+            "repro.service.tenant.requests",
+            lambda: [
+                ({"tenant": name}, record["requests"])
+                for name, record in list(self._tenants.items())
+            ],
         )
         for field in ("hits", "misses", "writes", "skipped_writes"):
             registry.collector(
@@ -750,25 +1017,36 @@ class VerdictService:
             self._release_lock()
             raise
         self._owns_socket = True
-        # A short accept timeout keeps the loop responsive to the stop
-        # flag even if closing the listener ever fails to wake it.
-        listener.settimeout(0.5)
+        listener.setblocking(False)
         self._listener = listener
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(listener, selectors.EVENT_READ, None)
+        # Self-wake pipe: request_stop() (signal handlers included)
+        # writes one byte to pull the loop out of select() immediately.
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        os.set_blocking(self._wake_w, False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, _WAKE)
+        # A restarted daemon may serve a different store file; the hot
+        # LRU starts empty (its lifetime counters survive, like the
+        # resilience counters).
+        self._hot_lru.clear()
         self._torn_down = False
         self._stop.clear()
+        self._stopping = None
+        self._stop_requester = None
+        self._draining = False
+        self._drain_swept = False
         self.started = True
         self._started_monotonic = time.monotonic()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="verdict-accept", daemon=True
+        self._next_checkpoint = (
+            self._started_monotonic + self.checkpoint_interval
+            if self.checkpoint_interval else 0.0
         )
-        self._accept_thread.start()
-        if self.checkpoint_interval:
-            self._checkpoint_thread = threading.Thread(
-                target=self._checkpoint_loop,
-                name="verdict-checkpoint",
-                daemon=True,
-            )
-            self._checkpoint_thread.start()
+        self._loop_thread = threading.Thread(
+            target=self._serve_loop, name="verdict-loop", daemon=True
+        )
+        self._loop_thread.start()
         return self
 
     def _acquire_lock(self) -> None:
@@ -843,11 +1121,11 @@ class VerdictService:
     def request_stop(self) -> None:
         """Flag shutdown without tearing down (signal-handler safe)."""
         self._stop.set()
-        listener = self._listener
-        if listener is not None:
+        wake = self._wake_w
+        if wake is not None:
             try:
-                listener.close()
-            except OSError:  # pragma: no cover - close is best-effort
+                os.write(wake, b"\0")
+            except OSError:  # pragma: no cover - loop already gone
                 pass
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -855,39 +1133,23 @@ class VerdictService:
         return self._stop.wait(timeout)
 
     def stop(self) -> None:
-        """Tear down: close clients, join threads, checkpoint, unlink.
+        """Tear down: join the loop, checkpoint the store, unlink.
 
         Idempotent; a concurrent second caller blocks until the first
         teardown finishes, so "stopped" always means "WAL on disk".
+        The loop thread closes every connection and the listener on its
+        way out; this owner-side half closes the store (checkpointing
+        the WAL), unlinks the socket and releases the daemon lock.
         """
         with self._teardown_lock:
             if self._torn_down:
                 return
             self._torn_down = True
             self.request_stop()
-            with self._state_lock:
-                connections = list(self._connections.values())
-                handlers = list(self._handlers.values())
-            for conn in connections:
-                try:
-                    conn.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover - already closed
-                    pass
             current = threading.current_thread()
-            if self._accept_thread is not None \
-                    and self._accept_thread is not current:
-                self._accept_thread.join(timeout=10)
-            if self._checkpoint_thread is not None \
-                    and self._checkpoint_thread is not current:
-                self._checkpoint_thread.join(timeout=10)
-                self._checkpoint_thread = None
-            for thread in handlers:
-                if thread is not current:
-                    thread.join(timeout=10)
+            thread, self._loop_thread = self._loop_thread, None
+            if thread is not None and thread is not current:
+                thread.join(timeout=10)
             if self.store is not None:
                 self.store.close()  # checkpoints the WAL
                 self.store = None
@@ -901,6 +1163,12 @@ class VerdictService:
                 except OSError:
                     pass
             self._release_lock()
+            wake_w, self._wake_w = self._wake_w, None
+            if wake_w is not None:
+                try:
+                    os.close(wake_w)
+                except OSError:  # pragma: no cover - already closed
+                    pass
             self.started = False
 
     def __enter__(self) -> "VerdictService":
@@ -911,143 +1179,336 @@ class VerdictService:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
-    # -- serving ----------------------------------------------------------------
+    # -- the event loop ---------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                conn, _ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                break  # listener closed by request_stop()/stop()
-            with self._state_lock:
-                if self._stop.is_set():
-                    conn.close()
+    def _serve_loop(self) -> None:
+        """The daemon: one selectors loop owning every socket."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    events = self._selector.select(self._loop_timeout())
+                except OSError:  # pragma: no cover - fd torn down under us
                     break
+                now = time.monotonic()
+                for key, mask in events:
+                    data = key.data
+                    try:
+                        if data is None:
+                            self._on_accept(now)
+                        elif data is _WAKE:
+                            try:
+                                os.read(self._wake_r, 4096)
+                            except OSError:  # pragma: no cover
+                                pass
+                        else:
+                            conn = data
+                            if mask & selectors.EVENT_WRITE:
+                                self._flush(conn, now)
+                            if (mask & selectors.EVENT_READ
+                                    and conn.client_id in self._connections
+                                    and not conn.read_closed):
+                                self._on_readable(conn, now)
+                    except Exception:  # noqa: BLE001 - loop must survive
+                        # Loop-plumbing failure on one fd (dispatch
+                        # errors are already answered in-band): drop
+                        # the connection, count it, keep serving.
+                        with self._state_lock:
+                            self._counters["errors"] += 1
+                        if isinstance(data, _Connection):
+                            self._close_connection(data)
+                now = time.monotonic()
+                self._maybe_checkpoint(now)
+                self._reap_idle(now)
+                self._check_stop_conditions(now)
+        finally:
+            self._teardown_loop()
+
+    def _loop_timeout(self) -> float:
+        if self._stopping is not None:
+            return 0.02
+        timeout = 0.5
+        if self.checkpoint_interval:
+            timeout = min(
+                timeout,
+                max(0.01, self._next_checkpoint - time.monotonic()),
+            )
+        if self.idle_timeout:
+            timeout = min(timeout, max(0.02, self.idle_timeout / 4.0))
+        return timeout
+
+    def _teardown_loop(self) -> None:
+        """Loop-thread half of shutdown: close every fd the loop owns."""
+        self._stop.set()
+        for conn in list(self._connections.values()):
+            self._close_connection(conn)
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        selector, self._selector = self._selector, None
+        if selector is not None:
+            try:
+                selector.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        wake_r, self._wake_r = self._wake_r, None
+        if wake_r is not None:
+            try:
+                os.close(wake_r)
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    # -- accept / read / write --------------------------------------------------
+
+    def _on_accept(self, now: float) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            if self._stop.is_set() or self._draining:
+                sock.close()
+                continue
+            if (self.max_clients
+                    and len(self._connections) >= self.max_clients):
+                # Hang up before the handshake: the retrying client
+                # sees a transient EOF and backs off; a briefly-full
+                # daemon clears on its own.
+                with self._state_lock:
+                    self._counters["rejected_full"] += 1
+                self.telemetry.counter(
+                    "repro.service.rejected", reason="max_clients"
+                ).inc()
+                sock.close()
+                continue
+            sock.setblocking(False)
+            with self._state_lock:
                 self._client_seq += 1
                 client_id = self._client_seq
-                self._connections[client_id] = conn
-                self._clients[client_id] = {
+                counters = {
                     "connected": True,
+                    "tenant": DEFAULT_TENANT,
                     "requests": 0,
                     "hits": 0,
                     "misses": 0,
                     "writes": 0,
                 }
-                thread = threading.Thread(
-                    target=self._serve_client,
-                    args=(conn, client_id),
-                    name=f"verdict-client-{client_id}",
-                    daemon=True,
-                )
-                self._handlers[client_id] = thread
-            thread.start()
+                self._clients[client_id] = counters
+                conn = _Connection(client_id, sock, now, counters)
+                self._connections[client_id] = conn
+            try:
+                self._selector.register(sock, selectors.EVENT_READ, conn)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                self._close_connection(conn)
 
-    def _checkpoint_loop(self) -> None:
-        """Fold the WAL back periodically, until shutdown.
+    def _fill_inbuf(self, conn: _Connection) -> str:
+        """Pull everything the OS has buffered for this connection.
 
-        State lock -> store lock is the same acquisition order as
-        every dispatch path, so the timer can never deadlock a batch.
+        Returns ``"open"`` (more may come), ``"eof"`` (peer finished
+        writing) or ``"error"`` (dead socket).
         """
-        while not self._stop.wait(self.checkpoint_interval):
-            with self._state_lock:
-                store = self.store
-                if store is None:  # pragma: no cover - stop() raced us
-                    break
-                if store.checkpoint():
-                    self._counters["checkpoints"] += 1
-
-    def _serve_client(self, conn: socket.socket, client_id: int) -> None:
-        # Per-client counters are only ever touched by this one handler
-        # thread; the stats op snapshots them under the state lock.
-        counters = self._clients[client_id]
-        # The idle timeout replaces the historical settimeout(None):
-        # a client that goes quiet past it is reaped -- connection
-        # closed, handler retired, ledger entry folded like any clean
-        # disconnect -- instead of pinning this thread forever.
-        conn.settimeout(self.idle_timeout)
         try:
-            while not self._stop.is_set():
-                try:
-                    request = _recv_frame(conn)
-                except socket.timeout:
-                    # Idle past the budget (socket.timeout must be
-                    # caught before its OSError parent).  Retrying
-                    # clients reconnect transparently next request.
-                    with self._state_lock:
-                        self._counters["reaped_idle"] += 1
-                    break
-                except (OSError, ServiceError):
-                    # Dead peer or a non-protocol talker: drop it.  One
-                    # bad client never takes the daemon down.
-                    break
-                if request is None:
-                    break  # clean disconnect
-                counters["requests"] += 1
-                op_name = str(request.get("op"))
-                stopping = request.get("op") == "shutdown"
-                started = time.monotonic()
-                try:
-                    response = self._dispatch(request, counters)
-                except StoreError as error:
-                    response = {"ok": False, "error": str(error)}
-                except Exception as error:  # noqa: BLE001 - protocol boundary
+            while True:
+                chunk = conn.sock.recv(1 << 20)
+                if not chunk:
+                    return "eof"
+                conn.inbuf += chunk
+                if len(chunk) < (1 << 20):
+                    return "open"
+        except (BlockingIOError, InterruptedError):
+            return "open"
+        except OSError:
+            return "error"
+
+    def _on_readable(self, conn: _Connection, now: float) -> None:
+        state = self._fill_inbuf(conn)
+        if state == "error":
+            self._close_connection(conn)
+            return
+        conn.last_activity = now
+        if conn.inbuf and not self._process_inbuf(conn):
+            # Framing garbage / non-protocol talker: drop it.  One bad
+            # client never takes the daemon down.
+            self._close_connection(conn)
+            return
+        if conn.client_id not in self._connections:
+            return
+        self._flush(conn, now)
+        if conn.client_id not in self._connections:
+            return
+        if state == "eof":
+            # Clean disconnect; anything still unflushed has no reader.
+            self._close_connection(conn)
+
+    def _process_inbuf(self, conn: _Connection) -> bool:
+        """Dispatch every complete frame in the read buffer, in order.
+
+        This is where pipelining happens: a client that wrote N frames
+        back-to-back gets N responses appended to its write buffer in
+        the same order, with no round-trip gaps.  Returns False on
+        framing/JSON garbage (caller closes the connection).
+        """
+        buf = conn.inbuf
+        pos = 0
+        size = len(buf)
+        while size - pos >= _HEADER.size:
+            (length,) = _HEADER.unpack_from(buf, pos)
+            if length > MAX_FRAME_BYTES:
+                return False
+            start = pos + _HEADER.size
+            if size - start < length:
+                break
+            body = bytes(buf[start:start + length])
+            pos = start + length
+            try:
+                request = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return False
+            if not isinstance(request, dict):
+                return False
+            self._handle_request(conn, request)
+            if self._stopping == "hard":
+                # The ack is the last frame this daemon answers.
+                break
+        del buf[:pos]
+        return True
+
+    def _flush(self, conn: _Connection, now: float) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+                if sent:
+                    del conn.outbuf[:sent]
+                    conn.last_activity = now
+            except (BlockingIOError, InterruptedError):
+                pass
+            except OSError:
+                self._close_connection(conn)
+                return
+        if conn.read_closed and not conn.outbuf:
+            self._close_connection(conn)
+            return
+        self._sync_events(conn)
+
+    def _sync_events(self, conn: _Connection) -> None:
+        wanted = 0
+        if not conn.read_closed:
+            wanted |= selectors.EVENT_READ
+        if conn.outbuf:
+            wanted |= selectors.EVENT_WRITE
+        if wanted == 0:
+            self._close_connection(conn)
+            return
+        if wanted != conn.events:
+            try:
+                self._selector.modify(conn.sock, wanted, conn)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                self._close_connection(conn)
+                return
+            conn.events = wanted
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if self._connections.get(conn.client_id) is not conn:
+            return
+        if self._selector is not None:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        with self._state_lock:
+            self._connections.pop(conn.client_id, None)
+            conn.counters["connected"] = False
+            self._retire_overflow()
+
+    # -- request handling -------------------------------------------------------
+
+    def _handle_request(
+        self, conn: _Connection, request: Dict[str, Any]
+    ) -> None:
+        """Account, meter, dispatch and answer one frame."""
+        counters = conn.counters
+        op = str(request.get("op"))
+        started = time.monotonic()
+        response: Optional[Dict[str, Any]] = None
+        # The handshake ping may (re)name this connection's tenant;
+        # the namespace is pure accounting -- verdicts are
+        # content-addressed and shared across tenants by design.
+        tenant_field = request.get("tenant")
+        if request.get("op") == "ping" and tenant_field is not None:
+            if isinstance(tenant_field, str) and tenant_field:
+                counters["tenant"] = tenant_field
+            else:
+                response = {
+                    "ok": False,
+                    "error": (
+                        f"tenant must be a non-empty string,"
+                        f" got {tenant_field!r}"
+                    ),
+                }
+        tenant = counters["tenant"]
+        with self._state_lock:
+            counters["requests"] += 1
+            record = self._tenants.setdefault(
+                tenant, {"requests": 0, "metered": 0, "denied": 0}
+            )
+            record["requests"] += 1
+            if (response is None and self.quota
+                    and op not in QUOTA_EXEMPT_OPS):
+                record["metered"] += 1
+                if record["metered"] > self.quota:
+                    record["denied"] += 1
+                    self._counters["quota_denied"] += 1
                     response = {
                         "ok": False,
-                        "error": f"{type(error).__name__}: {error}",
+                        "error": (
+                            f"tenant {tenant!r} exceeded its request"
+                            f" quota ({self.quota} data-plane"
+                            " requests); raise `repro serve --quota`"
+                            " or split the workload across tenants"
+                        ),
                     }
-                elapsed = time.monotonic() - started
-                # One state-lock scope for the error counter and the
-                # request instruments, so a concurrent metrics/health
-                # read never sees a timed request without its error
-                # accounted (registry locks are leaves under it).
-                with self._state_lock:
-                    if not response.get("ok"):
-                        self._counters["errors"] += 1
-                    self.telemetry.counter(
-                        "repro.service.requests", op=op_name
-                    ).inc()
-                    self.telemetry.histogram(
-                        "repro.service.request.seconds", op=op_name
-                    ).observe(elapsed)
-                try:
-                    _send_frame(conn, response)
-                except OSError:
-                    break
-                if stopping and response.get("ok"):
-                    # Ack first, then flag: the asker gets its answer,
-                    # the owner of wait()/stop() does the teardown.
-                    self.request_stop()
-                    break
-        finally:
-            counters["connected"] = False
-            with self._state_lock:
-                self._connections.pop(client_id, None)
-                # Dead Thread objects must not accrue on a long-lived
-                # daemon; the counters ledger is bounded separately.
-                self._handlers.pop(client_id, None)
-                self._retire_overflow()
+        if response is None:
             try:
-                conn.close()
-            except OSError:  # pragma: no cover - already closed
-                pass
-
-    def _retire_overflow(self) -> None:
-        """Fold the oldest disconnected clients beyond the ledger cap
-        into the ``retired`` aggregate.  Called under the state lock."""
-        disconnected = [
-            client_id
-            for client_id, counters in self._clients.items()
-            if not counters["connected"]
-        ]
-        for client_id in disconnected[:max(
-            0, len(disconnected) - self.max_client_ledger
-        )]:
-            counters = self._clients.pop(client_id)
-            self._retired["clients"] += 1
-            for field in ("requests", "hits", "misses", "writes"):
-                self._retired[field] += counters[field]
+                response = self._dispatch(request, counters)
+            except StoreError as error:
+                response = {"ok": False, "error": str(error)}
+            except Exception as error:  # noqa: BLE001 - protocol boundary
+                response = {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+        elapsed = time.monotonic() - started
+        # One state-lock scope for the error counter and the request
+        # instruments, so a concurrent metrics/health read never sees
+        # a timed request without its error accounted (registry locks
+        # are leaves under it).
+        with self._state_lock:
+            if not response.get("ok"):
+                self._counters["errors"] += 1
+            self.telemetry.counter(
+                "repro.service.requests", op=op
+            ).inc()
+            self.telemetry.histogram(
+                "repro.service.request.seconds", op=op
+            ).observe(elapsed)
+        conn.outbuf += _encode_frame(response)
+        if op == "shutdown" and response.get("ok"):
+            # Ack first (the frame is buffered; the loop flushes it
+            # before stopping), then flag: the owner of wait()/stop()
+            # does the teardown.
+            if request.get("drain"):
+                self._begin_drain()
+            else:
+                self._stopping = "hard"
+                self._stop_requester = conn.client_id
 
     def _dispatch(
         self, request: Dict[str, Any], counters: Dict[str, Any]
@@ -1061,25 +1522,37 @@ class VerdictService:
                 "pid": os.getpid(),
                 "store": str(self.store_path),
                 "schema_version": SCHEMA_VERSION,
+                "tenant": counters.get("tenant", DEFAULT_TENANT),
             }
         if op == "get_many":
             keys = [_key_from_wire(row) for row in request.get("keys", ())]
+            # Hot tier first: a hit is a dict lookup away from the
+            # response row, no SQLite, no decode/encode.
+            lru = self._hot_lru
+            found_rows: List[List[Any]] = []
+            missing: List["SimKey"] = []
+            for key in keys:
+                encoded = lru.get(key)
+                if encoded is None:
+                    missing.append(key)
+                else:
+                    found_rows.append(_wire_key(key) + [encoded])
             # Store call and ledger update are one atomic step under
             # the state lock, so a concurrent stats op can never see
             # store counters ahead of the per-client accounting (the
             # store's own lock already serializes the batches, so this
             # costs no real concurrency).
             with self._state_lock:
-                found = self.store.get_many(keys)
-                counters["hits"] += len(found)
-                counters["misses"] += len(keys) - len(found)
-            return {
-                "ok": True,
-                "found": [
-                    _wire_key(key) + [encode_verdict(value)]
-                    for key, value in found.items()
-                ],
-            }
+                found = self.store.get_many(missing) if missing else {}
+                counters["hits"] += len(found_rows) + len(found)
+                counters["misses"] += (
+                    len(keys) - len(found_rows) - len(found)
+                )
+            for key, value in found.items():
+                encoded = encode_verdict(value)
+                lru.put(key, encoded)
+                found_rows.append(_wire_key(key) + [encoded])
+            return {"ok": True, "found": found_rows}
         if op == "put_many":
             pairs = []
             for row in request.get("rows", ()):
@@ -1090,6 +1563,12 @@ class VerdictService:
             with self._state_lock:
                 self.store.put_many(pairs)
                 counters["writes"] += len(pairs)
+            # Write-through into the hot tier, re-encoded canonically
+            # so LRU hits stay byte-identical to store reads even for
+            # a client that sent a non-canonical (but decodable) row.
+            lru = self._hot_lru
+            for key, value in pairs:
+                lru.put(key, encode_verdict(value))
             return {"ok": True, "written": len(pairs)}
         if op == "stats":
             return {"ok": True, **self.snapshot_stats()}
@@ -1107,21 +1586,28 @@ class VerdictService:
             # untouched: neither side of it moves.
             with self._state_lock:
                 merged = self.store.merge_from(source)
+            # The merge may have changed rows the hot tier holds.
+            self._hot_lru.clear()
             return {"ok": True, "merged": merged}
         if op == "compact":
-            return {
-                "ok": True,
-                "compacted": self.store.compact(
-                    max_rows=request.get("max_rows"),
-                    max_age=request.get("max_age"),
-                    now=request.get("now"),
-                    vacuum=request.get("vacuum", True),
-                ),
-            }
+            compacted = self.store.compact(
+                max_rows=request.get("max_rows"),
+                max_age=request.get("max_age"),
+                now=request.get("now"),
+                vacuum=request.get("vacuum", True),
+            )
+            # Compaction pruned rows; drop the hot tier rather than
+            # serve entries the store no longer holds (stale verdicts
+            # are still *correct* -- verdicts are immutable -- but a
+            # pruned-then-hit row would make LRU and store disagree on
+            # population).
+            self._hot_lru.clear()
+            return {"ok": True, "compacted": compacted}
         if op == "metrics":
             # Full registry snapshot: request counters, service-time
-            # histograms, store/daemon collector samples, checkpoint
-            # timings -- the machine-readable superset of health/stats.
+            # histograms, store/daemon/hot-LRU collector samples,
+            # checkpoint timings -- the machine-readable superset of
+            # health/stats.
             return {
                 "ok": True,
                 "service": SERVICE_MAGIC,
@@ -1129,8 +1615,121 @@ class VerdictService:
                 "metrics": self.telemetry.snapshot(),
             }
         if op == "shutdown":
-            return {"ok": True, "stopping": True}
+            return {
+                "ok": True,
+                "stopping": True,
+                "drain": bool(request.get("drain")),
+            }
         return {"ok": False, "error": f"unknown protocol op {op!r}"}
+
+    # -- timers, drain, teardown ------------------------------------------------
+
+    def _maybe_checkpoint(self, now: float) -> None:
+        if not self.checkpoint_interval or self._stopping is not None:
+            return
+        if now < self._next_checkpoint:
+            return
+        self._next_checkpoint = now + self.checkpoint_interval
+        # State lock -> store lock is the same acquisition order as
+        # every dispatch path, so the timer can never deadlock a batch.
+        with self._state_lock:
+            store = self.store
+            if store is None:  # pragma: no cover - stop() raced us
+                return
+            if store.checkpoint():
+                self._counters["checkpoints"] += 1
+
+    def _reap_idle(self, now: float) -> None:
+        if not self.idle_timeout or self._stopping is not None:
+            return
+        for conn in list(self._connections.values()):
+            if now - conn.last_activity >= self.idle_timeout:
+                # Idle past the budget.  Retrying clients reconnect
+                # transparently on their next request.
+                with self._state_lock:
+                    self._counters["reaped_idle"] += 1
+                self._close_connection(conn)
+
+    def _begin_drain(self) -> None:
+        """Enter drain mode: refuse new connections immediately.
+
+        The loop's stop check finishes the drain: one final sweep
+        pulls every batch already received (OS-buffered included) into
+        the frame buffers, answers them, flushes every connection,
+        checkpoints the WAL and only then stops.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._stopping = "drain"
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            if self._selector is not None:
+                try:
+                    self._selector.unregister(listener)
+                except (KeyError, ValueError):  # pragma: no cover
+                    pass
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def _check_stop_conditions(self, now: float) -> None:
+        if self._stopping == "hard":
+            conn = self._connections.get(self._stop_requester)
+            if conn is None or not conn.outbuf:
+                self._stop.set()
+            return
+        if self._stopping == "drain":
+            if not self._drain_swept:
+                # One final read sweep per connection: whatever the OS
+                # had buffered when the drain landed is an in-flight
+                # batch and gets answered; afterwards nothing more is
+                # read.  (This runs at the loop's top level, never
+                # inside a connection's own processing pass.)
+                self._drain_swept = True
+                for conn in list(self._connections.values()):
+                    if conn.read_closed:
+                        continue
+                    state = self._fill_inbuf(conn)
+                    if state == "error" or (
+                        conn.inbuf and not self._process_inbuf(conn)
+                    ):
+                        self._close_connection(conn)
+                        continue
+                    conn.read_closed = True
+                    self._flush(conn, now)
+            if all(
+                not conn.outbuf
+                for conn in self._connections.values()
+            ):
+                for conn in list(self._connections.values()):
+                    self._close_connection(conn)
+                with self._state_lock:
+                    store = self.store
+                    if store is not None and store.checkpoint():
+                        self._counters["checkpoints"] += 1
+                self._stop.set()
+
+    def _retire_overflow(self) -> None:
+        """Fold the oldest disconnected clients beyond the ledger cap
+        into the ``retired`` aggregate.  Called under the state lock.
+        Tenant attribution is dropped at retirement (the per-tenant
+        aggregates keep their own lifetime totals)."""
+        disconnected = [
+            client_id
+            for client_id, counters in self._clients.items()
+            if not counters["connected"]
+        ]
+        for client_id in disconnected[:max(
+            0, len(disconnected) - self.max_client_ledger
+        )]:
+            counters = self._clients.pop(client_id)
+            self._retired["clients"] += 1
+            for field in ("requests", "hits", "misses", "writes"):
+                self._retired[field] += counters[field]
+
+    # -- snapshots --------------------------------------------------------------
 
     def health_snapshot(self) -> Dict[str, Any]:
         """The ``health`` op's payload: liveness plus row population.
@@ -1138,8 +1737,10 @@ class VerdictService:
         No per-client dump (that stays in ``stats``), but ``rows``
         carries :meth:`FaultDictionaryStore.row_stats` totals so one
         ``repro store ping --json`` round trip can alert on unexpected
-        store shrinkage, and ``service_time`` summarizes the
-        per-request service-time histograms (count/seconds per op).
+        store shrinkage, ``hot_lru`` reports the in-memory tier's
+        occupancy and hit counters, and ``service_time`` summarizes
+        the per-request service-time histograms (count/seconds per
+        op).
         """
         with self._state_lock:
             active = len(self._connections)
@@ -1164,6 +1765,7 @@ class VerdictService:
             }
             timed += entry["count"]
             seconds += entry["sum"]
+        lru = self._hot_lru
         return {
             "service": SERVICE_MAGIC,
             "protocol": PROTOCOL_VERSION,
@@ -1174,19 +1776,31 @@ class VerdictService:
             "requests": requests,
             "counters": counters,
             "rows": rows,
+            "hot_lru": {
+                "entries": len(lru),
+                "max_entries": lru.max_entries,
+                "hits": lru.hits,
+                "misses": lru.misses,
+                "evictions": lru.evictions,
+            },
             "service_time": {
                 "count": timed, "seconds": seconds, "by_op": by_op
             },
             "idle_timeout": self.idle_timeout,
             "checkpoint_interval": self.checkpoint_interval,
+            "max_clients": self.max_clients,
+            "quota": self.quota,
+            "draining": self._draining,
         }
 
     def snapshot_stats(self) -> Dict[str, Any]:
-        """The ``stats`` op's payload: rows, store counters, clients."""
+        """The ``stats`` op's payload: rows, store counters, clients,
+        tenants."""
         # One state-lock scope for the whole snapshot: per-client rows,
         # the retired aggregate and the store counters are mutated
-        # together in _dispatch, so reading them together is what keeps
-        # "per-client + retired == store writes" true even mid-batch.
+        # together in the dispatch path, so reading them together is
+        # what keeps "per-client + retired == store writes" true even
+        # mid-batch.
         with self._state_lock:
             per_client = {
                 str(client_id): dict(counters)
@@ -1194,6 +1808,10 @@ class VerdictService:
             }
             retired = dict(self._retired)
             counters = dict(self._counters)
+            tenants = {
+                name: dict(record)
+                for name, record in self._tenants.items()
+            }
             stats = self.store.stats
             store_stats = {
                 "hits": stats.hits,
@@ -1219,4 +1837,6 @@ class VerdictService:
                 "per_client": per_client,
                 "retired": retired,
             },
+            "tenants": tenants,
+            "quota": self.quota,
         }

@@ -41,6 +41,17 @@ prunes by age and/or LRU row cap, :meth:`FaultDictionaryStore.merge_from`
 folds another store (e.g. a campaign worker's shard) into this one in
 one atomic transaction, and :meth:`FaultDictionaryStore.row_stats`
 reports the row population for ``repro store stats``.
+
+Place in the store stack
+------------------------
+This module is the **bottom layer**: the only code that touches
+SQLite.  Everything above composes around it --
+:class:`~repro.store.tiered.TieredCache` puts the kernel's LRU in
+front, :mod:`repro.store.resilience` adds retry/degrade policies for
+remote tiers, and :mod:`repro.store.service` serves one instance to a
+fleet of socket clients (wire contract in ``docs/PROTOCOL.md``, runbook
+in ``docs/OPERATIONS.md``).  :func:`resolve_store` is the single entry
+point that picks the right client for a store reference.
 """
 
 from __future__ import annotations

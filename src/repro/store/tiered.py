@@ -27,6 +27,16 @@ The second tier is duck-typed: anything with the
 same composition serves a direct SQLite file *and* a
 :class:`~repro.store.service.ServiceStore` talking to a verdict-service
 daemon over a socket -- the kernel cannot tell the difference.
+
+Place in the store stack
+------------------------
+This module is the **composition layer** between the kernel and
+whatever store backs it: :class:`~repro.store.store.FaultDictionaryStore`
+(a local file), :class:`~repro.store.service.ServiceStore` (a daemon
+speaking ``docs/PROTOCOL.md``), or a
+:class:`~repro.store.resilience.DegradingStore` wrapping either.  The
+kernel constructs it via :func:`~repro.store.store.resolve_store` and
+never learns which it got.
 """
 
 from __future__ import annotations

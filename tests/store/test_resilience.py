@@ -316,6 +316,7 @@ class TestDaemonHardening:
         assert health["idle_timeout"] == 123.0
         assert set(health["counters"]) == {
             "reaped_idle", "checkpoints", "errors",
+            "rejected_full", "quota_denied",
         }
 
     def test_merge_op_folds_a_local_store_in(self, tmp_path):

@@ -275,12 +275,12 @@ class TestDaemonLifecycle:
             for i in range(5):
                 with ServiceStore(daemon.url) as client:
                     client.put(key(case=f"c{i}"), True)
-            # Handler threads are pruned with their connections, and
-            # only the 2 newest retirees keep individual ledger rows.
+            # Connection state is pruned with the sockets, and only
+            # the 2 newest retirees keep individual ledger rows.
             deadline = time.time() + 10
-            while daemon._handlers and time.time() < deadline:
+            while daemon._connections and time.time() < deadline:
                 time.sleep(0.05)
-            assert not daemon._handlers
+            assert not daemon._connections
             stats = daemon.snapshot_stats()
             assert len(stats["clients"]["per_client"]) == 2
             retired = stats["clients"]["retired"]
