@@ -907,6 +907,7 @@ def collect_benchmarks():
     payload = {
         "schema": 1,
         "benchmark": "bench_kernel",
+        # repro-lint: disable=injectable-clock -- benchmark report stamp
         "generated_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

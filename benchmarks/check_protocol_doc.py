@@ -1,91 +1,47 @@
 #!/usr/bin/env python
 """Keep docs/PROTOCOL.md and the service implementation in lockstep.
 
-Three sets must agree, or the spec has drifted from the code:
+Compatibility shim: the real check is now the ``wire-contract`` rule of
+the ``repro lint`` suite (:mod:`repro.devtools.lint.rules.wire`), which
+extracts the same three op sets -- ``SERVICE_OPS``, the literals
+``VerdictService._dispatch`` compares against, and the op table of
+``docs/PROTOCOL.md`` -- and requires pairwise agreement in both
+directions.  This script survives so existing invocations (and muscle
+memory) keep working; it simply runs that one rule over ``service.py``.
 
-1. ``SERVICE_OPS`` -- the registry the module exports as its op list;
-2. the ops ``VerdictService._dispatch`` actually compares against
-   (parsed from the source, so a handler added without registering it
-   is caught too);
-3. the ops documented in the op table of ``docs/PROTOCOL.md``.
-
-Run from the repository root (CI job ``docs-contract``)::
+Run from the repository root::
 
     PYTHONPATH=src python benchmarks/check_protocol_doc.py
 
-Exit status 0 when the contract holds, 1 with a diff when it drifted.
+Exit status 0 when the contract holds, 1 with the findings when it
+drifted.  Equivalent to::
+
+    PYTHONPATH=src python -m repro lint --rule wire-contract src/repro
 """
 
-import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-DOC = REPO / "docs" / "PROTOCOL.md"
 SOURCE = REPO / "src" / "repro" / "store" / "service.py"
 
 
-def registry_ops():
-    from repro.store.service import SERVICE_OPS
-
-    return set(SERVICE_OPS)
-
-
-def dispatched_ops():
-    """Every literal the dispatcher compares the request op against."""
-    source = SOURCE.read_text(encoding="utf-8")
-    match = re.search(
-        r"def _dispatch\(.*?\n(.*?)\n    def ", source, re.DOTALL
-    )
-    if not match:
-        raise SystemExit(f"cannot locate _dispatch in {SOURCE}")
-    return set(re.findall(r'op == "([a-z_]+)"', match.group(1)))
-
-
-def documented_ops():
-    """First-column op names of the PROTOCOL.md op table."""
-    ops = set()
-    for line in DOC.read_text(encoding="utf-8").splitlines():
-        cell = re.match(r"\|\s*`([a-z_]+)`\s*\|", line)
-        if cell:
-            ops.add(cell.group(1))
-    return ops
-
-
 def main() -> int:
-    registry = registry_ops()
-    dispatched = dispatched_ops()
-    documented = documented_ops()
-    failures = []
-    for left_name, left, right_name, right in (
-        ("SERVICE_OPS", registry, "_dispatch", dispatched),
-        ("SERVICE_OPS", registry, "docs/PROTOCOL.md", documented),
-    ):
-        missing = left - right
-        extra = right - left
-        if missing:
-            failures.append(
-                f"{right_name} is missing op(s) {sorted(missing)}"
-                f" present in {left_name}"
-            )
-        if extra:
-            failures.append(
-                f"{right_name} has op(s) {sorted(extra)}"
-                f" absent from {left_name}"
-            )
-    if failures:
+    from repro.devtools.lint import run_lint
+
+    result = run_lint([str(SOURCE)], only=["wire-contract"])
+    if result.findings:
         print("protocol doc contract BROKEN:")
-        for failure in failures:
-            print(f"  - {failure}")
+        for finding in result.findings:
+            print(f"  - {finding.render()}")
         print(
             "fix: update docs/PROTOCOL.md's op table and"
             " repro.store.service.SERVICE_OPS together"
         )
         return 1
     print(
-        f"protocol doc contract holds: {len(registry)} ops"
-        f" ({', '.join(sorted(registry))}) agree across SERVICE_OPS,"
-        " _dispatch and docs/PROTOCOL.md"
+        "protocol doc contract holds: SERVICE_OPS, _dispatch and"
+        " docs/PROTOCOL.md agree (wire-contract rule)"
     )
     return 0
 

@@ -242,6 +242,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     spec = CampaignSpec.from_file(args.spec)
 
     pipe_gone = False
+    # Operator-facing progress rate only: never lands in the manifest
+    # or any compared artifact, so wall time is the right clock here.
+    # repro-lint: disable=injectable-clock -- display-only elapsed time
     started = time.monotonic()
 
     def live_progress(done: int, total: int, record: dict) -> None:
@@ -260,6 +263,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f" {record['seconds'] * 1e3:8.1f} ms"
             if record["seconds"] is not None else ""
         )
+        # repro-lint: disable=injectable-clock -- same progress display
         elapsed = time.monotonic() - started
         rate = done / elapsed if elapsed > 0 else 0.0
         try:
@@ -642,6 +646,33 @@ def cmd_dot(args: argparse.Namespace) -> int:
     raise AssertionError(args.what)
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .devtools.lint import render_json, render_text, run_lint
+
+    paths = list(args.paths)
+    if not paths:
+        # Bare `repro lint` in a checkout lints the usual gate targets;
+        # anywhere else it lints the installed package itself.
+        paths = [p for p in ("src/repro", "benchmarks") if Path(p).exists()]
+        if not paths:
+            paths = [str(Path(__file__).parent)]
+    try:
+        result = run_lint(paths, only=args.rule or ())
+    except FileNotFoundError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"repro lint: {error.args[0]}", file=sys.stderr)
+        return 2
+    render = render_json if args.json else render_text
+    sys.stdout.write(
+        render(result.findings, result.checked_files, result.waived)
+    )
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -978,6 +1009,24 @@ def build_parser() -> argparse.ArgumentParser:
     dot.add_argument("what", choices=["m0", "tpg"])
     dot.add_argument("faults", nargs="*", default=["CFID"])
     dot.set_defaults(fn=cmd_dot)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's static-analysis rules (docs/LINTS.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src/repro, benchmarks)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable JSON report",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.set_defaults(fn=cmd_lint)
 
     return parser
 

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the package but never runs in
+production paths: today the :mod:`repro.devtools.lint` static-analysis
+suite (``repro lint``).  Nothing under here may be imported by runtime
+modules -- the dependency arrow points one way, from devtools into the
+code it checks."""

@@ -1,0 +1,36 @@
+"""``repro lint``: project-specific static analysis (PR 10).
+
+An AST-based rule suite enforcing the invariants the reproduction's
+correctness story actually rests on -- lock discipline in the store
+stack, a never-blocking ``verdict-loop``, injectable clocks and seeded
+RNGs, single-owner SQLite connections, a wire protocol doc that cannot
+drift from the code, and a closed catalog of telemetry series names.
+See ``docs/LINTS.md`` for the rule-by-rule contract and the
+suppression policy (``# repro-lint: disable=<rule> -- why``).
+
+Public surface::
+
+    from repro.devtools.lint import run_lint, render_text, render_json
+    result = run_lint(["src/repro"])
+    result.ok, result.findings
+"""
+
+from .findings import Finding
+from .registry import RULES, Rule, all_rule_ids, register, resolve_rules
+from .report import REPORT_SCHEMA, build_report, render_json, render_text
+from .runner import LintResult, run_lint
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "REPORT_SCHEMA",
+    "RULES",
+    "Rule",
+    "all_rule_ids",
+    "build_report",
+    "register",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "run_lint",
+]

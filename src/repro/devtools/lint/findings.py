@@ -1,0 +1,36 @@
+"""The one value every rule produces: a :class:`Finding`.
+
+A finding is a location plus a sentence: rule id, repo-relative path,
+1-based line, message.  Findings sort by (path, line, rule) so reports
+are deterministic regardless of rule registration or filesystem walk
+order -- the JSON report is diffable across runs by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"

@@ -1,0 +1,139 @@
+"""Source loading: walk paths, parse each ``*.py`` once, share the ASTs.
+
+Every rule sees the same :class:`Project` -- a list of parsed
+:class:`SourceFile` objects plus the repo root -- so a six-rule run
+parses each file exactly once.  Files that fail to parse become
+``parse-error`` findings instead of crashing the run: a half-written
+file should fail the lint, not the linter.
+
+Paths are reported repo-relative with ``/`` separators (stable across
+machines and OSes); the repo root is taken to be the nearest ancestor
+of the first scanned path containing a ``src/repro`` package, falling
+back to the current working directory.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file."""
+
+    path: Path            # absolute
+    relpath: str          # repo-relative, "/"-separated
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at: parsed files plus the repo root."""
+
+    root: Path
+    files: List[SourceFile]
+    parse_failures: List[Finding]
+
+    def find(self, suffix: str) -> Optional[SourceFile]:
+        """The scanned file whose relpath ends with ``suffix``, if any."""
+        for source in self.files:
+            if source.relpath.endswith(suffix):
+                return source
+        return None
+
+
+def _detect_root(start: Path) -> Path:
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return Path.cwd()
+
+
+def _iter_python_files(path: Path) -> List[Path]:
+    if path.is_file():
+        return [path] if path.suffix == ".py" else []
+    found: List[Path] = []
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                found.append(Path(dirpath) / name)
+    return found
+
+
+def load_project(paths: Sequence[str], root: Optional[Path] = None) -> Project:
+    """Parse every ``*.py`` under ``paths`` into one shared :class:`Project`.
+
+    Missing paths raise ``FileNotFoundError`` -- a typo'd path silently
+    linting nothing would read as a clean run.
+    """
+    resolved: List[Path] = []
+    for raw in paths:
+        candidate = Path(raw).resolve()
+        if not candidate.exists():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        resolved.append(candidate)
+    if root is None:
+        root = _detect_root(resolved[0]) if resolved else Path.cwd()
+    root = root.resolve()
+
+    seen: set = set()
+    files: List[SourceFile] = []
+    failures: List[Finding] = []
+    for base in resolved:
+        for path in _iter_python_files(base):
+            if path in seen:
+                continue
+            seen.add(path)
+            relpath = _relativize(path, root)
+            text = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(path))
+            except SyntaxError as error:
+                failures.append(Finding(
+                    rule="parse-error",
+                    path=relpath,
+                    line=error.lineno or 1,
+                    message=f"file does not parse: {error.msg}",
+                ))
+                continue
+            files.append(SourceFile(
+                path=path, relpath=relpath, text=text, tree=tree,
+            ))
+    return Project(root=root, files=files, parse_failures=failures)
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def attribute_chain(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` -> ``("a", "b", "c")``; empty tuple when the
+    expression is not a plain name/attribute chain (calls, subscripts)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()

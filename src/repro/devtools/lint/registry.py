@@ -1,0 +1,73 @@
+"""Rule registry: one decorator, one dict, no magic discovery.
+
+A rule is a class with a stable ``id`` (the name suppressions and
+``--rule`` use), a one-line ``summary``, and a ``check(project)``
+method yielding :class:`~repro.devtools.lint.findings.Finding`.  Rules
+receive the whole parsed :class:`~repro.devtools.lint.project.Project`
+rather than one file at a time because two of the six shipped rules
+(wire-contract, metric-catalog) are cross-artifact by nature; purely
+per-file rules just loop over ``project.files``.
+
+Registration is explicit: ``rules/__init__.py`` imports each rule
+module, and the ``@register`` decorator indexes the class by id.
+Duplicate ids are a programming error and raise immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Type
+
+from .findings import Finding
+from .project import Project
+
+#: Rule ids reserved by the framework itself (never registered classes).
+FRAMEWORK_RULES = ("parse-error", "suppression")
+
+
+class Rule:
+    """Base class; subclasses set ``id``/``summary`` and yield findings."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if cls.id in RULES or cls.id in FRAMEWORK_RULES:
+        raise ValueError(f"duplicate rule id: {cls.id}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def all_rule_ids() -> List[str]:
+    """Every valid rule id: registered rules plus framework ids."""
+    _ensure_loaded()
+    return sorted(RULES) + list(FRAMEWORK_RULES)
+
+
+def resolve_rules(only: Iterable[str] = ()) -> List[Rule]:
+    """Instantiate the selected rules (all, when ``only`` is empty)."""
+    _ensure_loaded()
+    wanted = list(only)
+    if not wanted:
+        return [RULES[rule_id]() for rule_id in sorted(RULES)]
+    instances: List[Rule] = []
+    for rule_id in wanted:
+        if rule_id not in RULES:
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known: {', '.join(sorted(RULES))}"
+            )
+        instances.append(RULES[rule_id]())
+    return instances
+
+
+def _ensure_loaded() -> None:
+    # Importing the package registers every shipped rule exactly once.
+    from . import rules  # noqa: F401  (import for side effect)

@@ -1,0 +1,63 @@
+"""Reporters: human text and machine JSON for one lint run.
+
+The JSON document is schema-versioned and fully deterministic (sorted
+findings, sorted counts, no timestamps) so CI can diff two reports and
+tests can assert the exact shape.  Schema::
+
+    {
+      "schema": 1,
+      "tool": "repro-lint",
+      "checked_files": <int>,
+      "waived": <int>,            # findings silenced by suppressions
+      "counts": {"<rule>": <int>, ...},
+      "findings": [{"rule", "path", "line", "message"}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from .findings import Finding
+
+REPORT_SCHEMA = 1
+
+
+def sorted_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def build_report(
+    findings: Sequence[Finding], checked_files: int, waived: int
+) -> Dict[str, Any]:
+    ordered = sorted_findings(findings)
+    counts = Counter(finding.rule for finding in ordered)
+    return {
+        "schema": REPORT_SCHEMA,
+        "tool": "repro-lint",
+        "checked_files": checked_files,
+        "waived": waived,
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+
+
+def render_json(
+    findings: Sequence[Finding], checked_files: int, waived: int
+) -> str:
+    report = build_report(findings, checked_files, waived)
+    return json.dumps(report, indent=2, sort_keys=False) + "\n"
+
+
+def render_text(
+    findings: Sequence[Finding], checked_files: int, waived: int
+) -> str:
+    lines = [finding.render() for finding in sorted_findings(findings)]
+    tail = (
+        f"repro lint: {len(findings)} finding(s) in {checked_files} file(s)"
+        + (f", {waived} waived" if waived else "")
+    )
+    lines.append(tail)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,11 @@
+"""Shipped rules.  Importing this package registers every rule with
+:mod:`repro.devtools.lint.registry`; add new rule modules to the import
+list below (explicit beats directory scanning -- a missing import is a
+visibly absent rule, not a silently skipped one)."""
+
+from . import determinism  # noqa: F401
+from . import eventloop  # noqa: F401
+from . import locks  # noqa: F401
+from . import metric_names  # noqa: F401
+from . import resources  # noqa: F401
+from . import wire  # noqa: F401

@@ -1,0 +1,164 @@
+"""event-loop-blocking: the ``verdict-loop`` thread must never block.
+
+The verdict service is a single-threaded selectors loop
+(:meth:`VerdictService._serve_loop` runs on the ``verdict-loop``
+thread); one blocking call anywhere in its dispatch path stalls every
+connected client.  This rule builds the ``self._method()`` call graph
+of any class defining a loop root (``_serve_loop``) and, in every
+method reachable from a root, forbids:
+
+* ``time.sleep(...)`` -- latency injected into every client;
+* anything from ``subprocess`` -- arbitrary-duration child processes;
+* ``socket.create_connection(...)`` -- a blocking connect;
+* socket-style blocking calls (``accept``/``recv``/``recv_into``/
+  ``send``/``sendall``/``connect``/``makefile``) on a receiver that is
+  never visibly switched to non-blocking mode -- i.e. no
+  ``<name>.setblocking(False)`` anywhere in the same file for the
+  receiver's terminal name (``conn.sock.recv`` is keyed on ``sock``).
+
+The reachability analysis is intraprocedural by design: calls into
+other modules (the store's SQLite writes, for instance) are the loop's
+*budgeted* work, bounded by batch size, and are out of scope here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..findings import Finding
+from ..project import Project, SourceFile, attribute_chain
+from ..registry import Rule, register
+
+#: Methods that anchor the reachability walk when a class defines them.
+LOOP_ROOTS = ("_serve_loop",)
+
+#: Socket methods that block unless the fd is non-blocking.
+_BLOCKING_SOCKET_METHODS = {
+    "accept", "recv", "recv_into", "send", "sendall", "connect", "makefile",
+}
+
+
+def _self_calls(node: ast.FunctionDef, self_name: str) -> Set[str]:
+    called: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            chain = attribute_chain(child.func)
+            if len(chain) == 2 and chain[0] == self_name:
+                called.add(chain[1])
+    return called
+
+
+def _normalize(name: str) -> str:
+    # `listener.setblocking(False)` then `self._listener = listener`:
+    # match the local and the attribute it becomes by stripping the
+    # private-underscore prefix.
+    return name.lstrip("_")
+
+
+def _nonblocking_names(tree: ast.Module) -> Set[str]:
+    """Terminal receiver names (underscore-normalized) that get
+    ``.setblocking(False)`` somewhere in the file."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attribute_chain(node.func)
+        if chain and chain[-1] == "setblocking" and len(chain) >= 2:
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and node.args[0].value is False:
+                names.add(_normalize(chain[-2]))
+    return names
+
+
+@register
+class EventLoopBlockingRule(Rule):
+    id = "event-loop-blocking"
+    summary = (
+        "code reachable from _serve_loop must not sleep, spawn "
+        "subprocesses, or touch blocking sockets"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            nonblocking = None  # computed lazily, only when a loop exists
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                methods: Dict[str, ast.FunctionDef] = {
+                    stmt.name: stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                }
+                roots = [name for name in LOOP_ROOTS if name in methods]
+                if not roots:
+                    continue
+                if nonblocking is None:
+                    nonblocking = _nonblocking_names(source.tree)
+                reachable = self._reachable(methods, roots)
+                for name in sorted(reachable):
+                    yield from self._check_method(
+                        source, node.name, methods[name], nonblocking
+                    )
+
+    def _reachable(
+        self, methods: Dict[str, ast.FunctionDef], roots: List[str]
+    ) -> Set[str]:
+        reachable: Set[str] = set()
+        frontier = list(roots)
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            args = methods[name].args
+            all_args = args.posonlyargs + args.args
+            self_name = all_args[0].arg if all_args else "self"
+            for callee in _self_calls(methods[name], self_name):
+                if callee in methods and callee not in reachable:
+                    frontier.append(callee)
+        return reachable
+
+    def _check_method(
+        self,
+        source: SourceFile,
+        class_name: str,
+        method: ast.FunctionDef,
+        nonblocking: Set[str],
+    ) -> Iterator[Finding]:
+        where = f"{class_name}.{method.name} (reachable from verdict-loop)"
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if not chain:
+                continue
+            if chain == ("time", "sleep"):
+                yield Finding(
+                    rule=self.id, path=source.relpath, line=node.lineno,
+                    message=f"time.sleep() in {where} stalls every client",
+                )
+            elif chain[0] == "subprocess":
+                yield Finding(
+                    rule=self.id, path=source.relpath, line=node.lineno,
+                    message=f"subprocess call in {where}: child processes "
+                            "take arbitrary time",
+                )
+            elif chain == ("socket", "create_connection"):
+                yield Finding(
+                    rule=self.id, path=source.relpath, line=node.lineno,
+                    message=f"blocking connect in {where}",
+                )
+            elif (
+                len(chain) >= 2
+                and chain[-1] in _BLOCKING_SOCKET_METHODS
+                and _normalize(chain[-2]) not in nonblocking
+            ):
+                yield Finding(
+                    rule=self.id, path=source.relpath, line=node.lineno,
+                    message=(
+                        f"socket .{chain[-1]}() on `{chain[-2]}` in {where} "
+                        f"but no `{chain[-2]}.setblocking(False)` in this "
+                        "file -- the loop may block"
+                    ),
+                )

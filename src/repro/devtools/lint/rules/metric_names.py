@@ -1,0 +1,95 @@
+"""metric-catalog: every ``repro.*`` series literal is declared.
+
+:mod:`repro.telemetry.catalog` is the closed set of series names the
+stack may register.  This rule finds every instrument call --
+``.counter(...)``, ``.gauge(...)``, ``.histogram(...)``,
+``.collector(...)``, ``.adopt(...)``, ``.series(...)`` -- whose first
+argument is a string literal starting with ``repro.`` and checks it
+against the catalog:
+
+* a plain literal must be declared verbatim;
+* an f-string like ``f"repro.kernel.cache.{field}"`` contributes only
+  its static prefix, so at least one catalogued name must start with
+  that prefix (the runtime cross-check test closes the remaining gap
+  by asserting a fully instrumented campaign registers only catalogued
+  names).
+
+A typo'd name -- ``repro.sevice.requests`` -- fails the build instead
+of silently creating a parallel series nobody reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ....telemetry.catalog import METRIC_SERIES
+from ..findings import Finding
+from ..project import Project, attribute_chain
+from ..registry import Rule, register
+
+#: Methods whose first argument names a series.
+_INSTRUMENT_METHODS = {
+    "counter", "gauge", "histogram", "collector", "adopt", "series",
+}
+
+
+def _series_literal(node: ast.AST) -> Optional[Tuple[str, bool]]:
+    """(text, is_prefix) when ``node`` is a repro.* series literal."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return (node.value, False) if node.value.startswith("repro.") else None
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for value in node.values:
+            if isinstance(value, ast.Constant) and \
+                    isinstance(value.value, str):
+                prefix += value.value
+            else:
+                break
+        if prefix.startswith("repro."):
+            return prefix, True
+    return None
+
+
+@register
+class MetricCatalogRule(Rule):
+    id = "metric-catalog"
+    summary = (
+        "every repro.* series name passed to an instrument call must be "
+        "declared in telemetry/catalog.py"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            if source.relpath.endswith("repro/telemetry/catalog.py"):
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                chain = attribute_chain(node.func)
+                if not chain or chain[-1] not in _INSTRUMENT_METHODS:
+                    continue
+                literal = _series_literal(node.args[0])
+                if literal is None:
+                    continue
+                text, is_prefix = literal
+                if is_prefix:
+                    if any(name.startswith(text) for name in METRIC_SERIES):
+                        continue
+                    yield Finding(
+                        rule=self.id, path=source.relpath, line=node.lineno,
+                        message=(
+                            f"no catalogued series starts with f-string "
+                            f"prefix {text!r} -- declare the series in "
+                            "telemetry/catalog.py"
+                        ),
+                    )
+                elif text not in METRIC_SERIES:
+                    yield Finding(
+                        rule=self.id, path=source.relpath, line=node.lineno,
+                        message=(
+                            f"series {text!r} is not declared in "
+                            "telemetry/catalog.py (typo, or add it to the "
+                            "catalog first)"
+                        ),
+                    )

@@ -1,0 +1,116 @@
+"""resource-ownership: one SQLite owner, no leaked handles in the store
+stack.
+
+Two sub-checks, both about who may hold a close()-bearing resource:
+
+1. **Single connection owner.**  ``sqlite3.connect`` may appear only in
+   ``src/repro/store/store.py`` -- :class:`FaultDictionaryStore` is the
+   sole object that opens the dictionary (quarantine, schema refusal
+   and WAL setup all live behind that choke point).  A second connect
+   site would bypass every one of those guarantees.
+
+2. **Guarded acquisition.**  Inside ``src/repro/store/``, acquiring a
+   raw resource (``sqlite3.connect``, ``socket.socket``,
+   ``socket.create_connection``) and binding it to a local name is only
+   allowed when the same function visibly manages its lifetime: the
+   name must be closed somewhere in that function (``finally:``/
+   ``except BaseException:`` cleanup both qualify), or the acquisition
+   must happen in a ``with`` item, or the handle must be stored on
+   ``self`` (the owner's own ``close()`` then manages it).
+
+The check is intentionally per-function and name-based -- it will not
+prove your cleanup runs on every path, but it catches the case that
+actually bites: an acquisition with *no* visible release at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from ..findings import Finding
+from ..project import Project, SourceFile, attribute_chain
+from ..registry import Rule, register
+
+#: The only file allowed to call sqlite3.connect.
+CONNECT_OWNER = "repro/store/store.py"
+
+#: Calls treated as raw-resource acquisitions inside src/repro/store/.
+_ACQUIRERS: Tuple[Tuple[str, ...], ...] = (
+    ("sqlite3", "connect"),
+    ("socket", "socket"),
+    ("socket", "create_connection"),
+)
+
+
+def _is_acquirer(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and attribute_chain(node.func) in _ACQUIRERS
+    )
+
+
+@register
+class ResourceOwnershipRule(Rule):
+    id = "resource-ownership"
+    summary = (
+        "sqlite3.connect only in store/store.py; store-stack resource "
+        "acquisitions must have a visible owner or close"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.files:
+            yield from self._check_connect_owner(source)
+            if "repro/store/" in source.relpath:
+                yield from self._check_acquisitions(source)
+
+    def _check_connect_owner(self, source: SourceFile) -> Iterator[Finding]:
+        if source.relpath.endswith(CONNECT_OWNER):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and \
+                    attribute_chain(node.func) == ("sqlite3", "connect"):
+                yield Finding(
+                    rule=self.id, path=source.relpath, line=node.lineno,
+                    message=(
+                        "sqlite3.connect outside store/store.py -- only "
+                        "FaultDictionaryStore may open the dictionary "
+                        "(quarantine/schema/WAL guarantees live there)"
+                    ),
+                )
+
+    def _check_acquisitions(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, func: ast.AST
+    ) -> Iterator[Finding]:
+        closed = self._closed_names(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) or not _is_acquirer(node.value):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    continue  # self._x = ... : owner-managed
+                if isinstance(target, ast.Name) and target.id in closed:
+                    continue  # visibly closed in this function
+                name = target.id if isinstance(target, ast.Name) else "?"
+                yield Finding(
+                    rule=self.id, path=source.relpath, line=node.lineno,
+                    message=(
+                        f"`{name}` acquires a raw resource but this "
+                        f"function never calls `{name}.close()` -- use "
+                        "try/finally, a with block, or store it on self"
+                    ),
+                )
+
+    def _closed_names(self, func: ast.AST) -> Set[str]:
+        closed: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if len(chain) == 2 and chain[1] == "close":
+                    closed.add(chain[0])
+        return closed

@@ -1,0 +1,161 @@
+"""Inline suppression comments: ``# repro-lint: disable=<rule> -- why``.
+
+Two directive forms, both requiring a justification after ``--``:
+
+* ``# repro-lint: disable=<rules> -- why`` -- waives the named rules on
+  its own line; when the comment stands alone on a line, it waives the
+  *next* line instead (so a long statement can carry its waiver above
+  it).
+* ``# repro-lint: disable-scope=<rules> -- why`` -- waives the named
+  rules across the innermost enclosing function or class, for methods
+  whose lock-free accesses are safe wholesale (a constructor-like
+  ``start()`` running before its worker thread exists, a collector
+  registrar that samples without the state lock by design).
+
+Directives are found with :mod:`tokenize`, so only real comments count
+-- a docstring or string literal that *mentions* the syntax is inert.
+Hygiene is enforced by the scanner itself, as ``suppression``
+findings: every directive must carry a justification (an unexplained
+waiver is exactly the convention-rot this suite exists to kill), and
+the rule ids named must exist (a typo'd ``disable=`` cannot silently
+suppress nothing while looking like it did).
+
+Suppressions are matched *after* rules run: rules stay oblivious to
+the mechanism and a ``--rule``-filtered run still honours waivers.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .findings import Finding
+from .project import SourceFile
+
+#: The directive grammar: kind (line/scope), rule ids, tail (-- reason).
+_DIRECTIVE = re.compile(
+    r"^#\s*repro-lint:\s*disable(?P<scope>-scope)?="
+    r"(?P<rules>[A-Za-z0-9_*,-]+)(?P<tail>.*)$"
+)
+#: Any comment that *tries* to be a directive (for malformed detection).
+_ATTEMPT = re.compile(r"^#\s*repro-lint\b")
+_JUSTIFIED = re.compile(r"\s*--\s*\S")
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rules are waived on which lines/ranges of one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    by_range: List[Tuple[int, int, Set[str]]] = field(default_factory=list)
+    problems: List[Finding] = field(default_factory=list)
+
+    def covers(self, rule: str, line: int) -> bool:
+        waived = self.by_line.get(line, set())
+        if rule in waived or "*" in waived:
+            return True
+        for start, end, rules in self.by_range:
+            if start <= line <= end and (rule in rules or "*" in rules):
+                return True
+        return False
+
+
+def _comment_tokens(text: str) -> List[Tuple[int, int, str]]:
+    """(line, col, comment-text) for every real comment in ``text``."""
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string)
+                )
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # ast.parse already succeeded; treat trailers as commentless
+    return comments
+
+
+def _enclosing_scope(tree: ast.Module, line: int) -> Tuple[int, int]:
+    """(start, end) of the innermost def/class containing ``line``;
+    (0, 0) when the directive is at module level (not allowed)."""
+    best: Tuple[int, int] = (0, 0)
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            start, end = node.lineno, node.end_lineno or node.lineno
+            if start <= line <= end and (
+                best == (0, 0) or start > best[0]
+            ):
+                best = (start, end)
+    return best
+
+
+def scan_suppressions(
+    source: SourceFile, known_rules: Iterable[str]
+) -> SuppressionIndex:
+    """Build the suppression index for one file."""
+    known = set(known_rules)
+    index = SuppressionIndex()
+    for lineno, col, comment in _comment_tokens(source.text):
+        if not _ATTEMPT.match(comment):
+            continue
+        match = _DIRECTIVE.match(comment)
+        if match is None:
+            index.problems.append(Finding(
+                rule="suppression", path=source.relpath, line=lineno,
+                message="malformed repro-lint directive (expected "
+                        "'# repro-lint: disable=<rule> -- reason')",
+            ))
+            continue
+        rules = {r for r in match.group("rules").split(",") if r}
+        unknown = sorted(r for r in rules if r != "*" and r not in known)
+        if unknown:
+            index.problems.append(Finding(
+                rule="suppression", path=source.relpath, line=lineno,
+                message="suppression names unknown rule(s): "
+                        + ", ".join(unknown),
+            ))
+            continue
+        if not _JUSTIFIED.match(match.group("tail")):
+            index.problems.append(Finding(
+                rule="suppression", path=source.relpath, line=lineno,
+                message="suppression lacks a justification -- write "
+                        "'# repro-lint: disable=<rule> -- why it is safe'",
+            ))
+            continue
+        if match.group("scope"):
+            start, end = _enclosing_scope(source.tree, lineno)
+            if (start, end) == (0, 0):
+                index.problems.append(Finding(
+                    rule="suppression", path=source.relpath, line=lineno,
+                    message="disable-scope must sit inside a function or "
+                            "class (module-wide waivers are not allowed)",
+                ))
+                continue
+            index.by_range.append((start, end, rules))
+        else:
+            standalone = source.lines[lineno - 1][:col].strip() == ""
+            target = lineno + 1 if standalone else lineno
+            index.by_line.setdefault(target, set()).update(rules)
+    return index
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    indexes: Dict[str, SuppressionIndex],
+) -> Tuple[List[Finding], int]:
+    """Drop findings waived by their file's index; return (kept, waived)."""
+    kept: List[Finding] = []
+    waived = 0
+    for finding in findings:
+        index = indexes.get(finding.path)
+        if index is not None and index.covers(finding.rule, finding.line):
+            waived += 1
+            continue
+        kept.append(finding)
+    return kept, waived

@@ -418,6 +418,7 @@ def run_campaign(
     progress: Optional[ProgressSink] = None,
     retry: Optional[RetryPolicy] = None,
     degrade: bool = True,
+    clock: Optional[Callable[[], float]] = None,
 ) -> Dict[str, Any]:
     """Execute every job of ``spec``; return the results manifest.
 
@@ -444,7 +445,16 @@ def run_campaign(
     whether exhausted retries demote a worker to a spill shard
     (see the module docstring) or fail the job.  Both are ignored for
     file stores.
+
+    ``clock`` is the wall-clock source for the manifest's
+    ``generated_unix`` stamp (default :func:`time.time`), injectable
+    for the same reason :class:`RetryPolicy` takes one: tests pin it
+    and get a fully deterministic manifest without normalization.  The
+    stamp is run metadata either way -- :func:`normalized_manifest`
+    strips it before any byte-for-byte comparison.
     """
+    if clock is None:
+        clock = time.time
     if jobs < 1:
         raise CampaignSpecError("jobs must be >= 1")
     store = store_path if store_path is not None else spec.store
@@ -613,7 +623,7 @@ def run_campaign(
     return {
         "schema": MANIFEST_SCHEMA,
         "campaign": spec.name,
-        "generated_unix": round(time.time(), 3),
+        "generated_unix": round(clock(), 3),
         # JSON-native echo of the spec (tuples become lists).
         "spec": {
             field: list(value) if isinstance(value, tuple) else value

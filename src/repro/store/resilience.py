@@ -291,6 +291,10 @@ class DegradingStore:
             return self._spill
 
     def _call(self, op: str, *args: Any) -> Any:
+        # repro-lint: disable-scope=lock-discipline -- `degraded` is a
+        # one-way latch set under _lock in _demote and never reverted; a
+        # stale False here just retries the primary once more, and
+        # _demote re-checks under the lock before creating the spill.
         if not self.degraded:
             try:
                 return getattr(self.primary, op)(*args)
@@ -319,6 +323,9 @@ class DegradingStore:
     def stats(self) -> StoreStats:
         """Combined counters of both tiers (reads are snapshots)."""
         merged = StoreStats()
+        # A racing demotion only means the spill's zero counters show
+        # up one call later.
+        # repro-lint: disable=lock-discipline -- snapshot read of latch
         for tier in (self.primary, self._spill):
             tier_stats = getattr(tier, "stats", None)
             if tier_stats is None:
@@ -333,6 +340,9 @@ class DegradingStore:
 
     def resilience(self) -> Dict[str, Any]:
         """What the campaign manifest records per job."""
+        # repro-lint: disable-scope=lock-discipline -- manifest snapshot
+        # of the one-way `degraded` latch, taken after the job finished;
+        # no demotion can race it
         return {
             "attempts": int(getattr(self.primary, "retries", 0)),
             "degraded": self.degraded,
@@ -340,6 +350,7 @@ class DegradingStore:
         }
 
     def describe(self) -> str:
+        # repro-lint: disable=lock-discipline -- display-only latch read
         if self.degraded:
             return (
                 f"spill [{self.spill_path.name} DEGRADED]:"

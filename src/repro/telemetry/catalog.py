@@ -1,0 +1,72 @@
+"""Catalog of every ``repro.*`` telemetry series name (PR 10).
+
+One declaration per series the stack may ever register.  The catalog
+exists so that a typo'd metric name -- ``repro.sevice.requests`` --
+cannot silently create a parallel series nobody reads: the
+``metric-catalog`` lint rule (:mod:`repro.devtools.lint.rules.metric_names`)
+checks that every metric-name literal in ``src/`` resolves against
+this mapping, and a runtime cross-check test asserts that every series
+a fully instrumented Table 3 campaign registers is declared here.
+
+Keep this file boring on purpose: a flat mapping from series name to a
+one-line description, no imports from the rest of the package.  Adding
+a new instrument means adding a line here first -- the lint fails the
+build otherwise, which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+#: Every series name the stack registers, with a one-line description.
+CATALOG: Dict[str, str] = {
+    # -- kernel LRU tier (adopted KernelStats counters) ----------------------
+    "repro.kernel.cache.hits": "in-memory LRU lookups answered locally",
+    "repro.kernel.cache.misses": "in-memory LRU lookups that fell through",
+    "repro.kernel.cache.evictions": "entries dropped by the LRU bound",
+    "repro.kernel.cache.batches": "detect_batch calls that reached a backend",
+    "repro.kernel.cache.stores": "verdicts written into the LRU tier",
+    # -- simulation backends --------------------------------------------------
+    "repro.backend.served": "verdicts computed, by backend and strategy",
+    "repro.backend.detect.seconds": "backend batch latency histogram",
+    "repro.backend.chunks": "tiled-backend fork-pool chunks simulated",
+    # -- persistent store (file or service tier) ------------------------------
+    "repro.store.hits": "store lookups answered from SQLite/service",
+    "repro.store.misses": "store lookups that missed",
+    "repro.store.writes": "verdict rows written through to the store",
+    "repro.store.skipped_writes": "writes skipped (readonly/degraded store)",
+    "repro.store.read_through.seconds": "tiered-cache store read latency",
+    "repro.store.write_through.seconds": "tiered-cache store write latency",
+    "repro.store.checkpoint.seconds": "WAL checkpoint latency, by mode",
+    # -- verdict-service daemon ----------------------------------------------
+    "repro.service.requests": "requests dispatched, by op",
+    "repro.service.request.seconds": "request service-time histogram, by op",
+    "repro.service.rejected": "connections refused, by reason",
+    "repro.service.reaped_idle": "connections closed by the idle reaper",
+    "repro.service.checkpoints": "daemon-triggered WAL checkpoints",
+    "repro.service.errors": "loop/dispatch failures survived",
+    "repro.service.rejected_full": "accepts refused at max_clients",
+    "repro.service.quota_denied": "requests denied by tenant quota",
+    "repro.service.connections": "currently connected clients (gauge)",
+    "repro.service.hot_lru.hits": "daemon hot-LRU lookups answered",
+    "repro.service.hot_lru.misses": "daemon hot-LRU lookups that missed",
+    "repro.service.hot_lru.evictions": "daemon hot-LRU entries evicted",
+    "repro.service.hot_lru.entries": "daemon hot-LRU population (gauge)",
+    "repro.service.tenant.requests": "requests served, by tenant",
+}
+
+#: The declared names as a set -- what the lint rule and the runtime
+#: cross-check test actually consult.
+METRIC_SERIES: FrozenSet[str] = frozenset(CATALOG)
+
+
+def is_declared(name: str) -> bool:
+    """True when ``name`` is a catalogued series name."""
+    return name in METRIC_SERIES
+
+
+def declared_with_prefix(prefix: str) -> FrozenSet[str]:
+    """Catalogued names starting with ``prefix`` (for f-string literals
+    like ``f"repro.kernel.cache.{field}"`` the lint can only see the
+    static prefix)."""
+    return frozenset(name for name in METRIC_SERIES if name.startswith(prefix))

@@ -1,0 +1,27 @@
+"""Shared fixture for the lint-suite tests: write a file tree into
+tmp_path and lint it."""
+
+from textwrap import dedent
+
+import pytest
+
+from repro.devtools.lint import run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` under tmp_path and lint the tree.
+
+    Call with a ``{relpath: source}`` dict (sources are dedented) and
+    optional ``only=[rule-id]``; returns the LintResult.
+    """
+
+    def _lint(files, only=(), paths=None):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(dedent(source), encoding="utf-8")
+        roots = paths if paths is not None else [str(tmp_path)]
+        return run_lint(roots, only=only, root=tmp_path)
+
+    return _lint

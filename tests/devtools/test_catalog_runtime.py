@@ -1,0 +1,58 @@
+"""telemetry/catalog.py cannot rot: every series a fully instrumented
+run registers must be declared (tier-1)."""
+
+from repro.store.campaign import CampaignSpec, run_campaign
+from repro.store.service import VerdictService
+from repro.telemetry import Telemetry
+from repro.telemetry.catalog import CATALOG, METRIC_SERIES, is_declared
+
+#: A miniature Table 3 sweep: store-backed so kernel, tiered-cache and
+#: store series all register, same shape as the paper's campaign.
+SPEC = {
+    "name": "catalog-cross-check",
+    "tests": ["MATS", "MarchC-"],
+    "faults": ["SAF", "TF"],
+    "sizes": [3],
+    "backends": ["serial"],
+}
+
+
+class TestRuntimeCrossCheck:
+    def test_campaign_series_are_a_subset_of_the_catalog(self, tmp_path):
+        manifest = run_campaign(
+            CampaignSpec.from_dict(SPEC),
+            store_path=str(tmp_path / "dict.sqlite"),
+            clock=lambda: 0.0,
+        )
+        registered = set(manifest["telemetry"]["metrics"]["metrics"])
+        assert registered, "instrumented campaign registered nothing"
+        undeclared = registered - METRIC_SERIES
+        assert not undeclared, (
+            f"series missing from telemetry/catalog.py: {sorted(undeclared)}"
+        )
+
+    def test_daemon_collector_series_are_declared(self, tmp_path):
+        # Constructing the daemon registers every collector series; no
+        # need to serve traffic to check their names.
+        service = VerdictService(store_path=tmp_path / "dict.sqlite")
+        registered = set(service.telemetry.snapshot()["metrics"])
+        assert registered
+        undeclared = registered - METRIC_SERIES
+        assert not undeclared, (
+            f"series missing from telemetry/catalog.py: {sorted(undeclared)}"
+        )
+
+    def test_injected_clock_pins_the_manifest_stamp(self, tmp_path):
+        manifest = run_campaign(
+            CampaignSpec.from_dict(SPEC),
+            store_path=str(tmp_path / "dict.sqlite"),
+            clock=lambda: 1234.5678,
+        )
+        assert manifest["generated_unix"] == 1234.568
+
+    def test_catalog_shape(self):
+        assert METRIC_SERIES == frozenset(CATALOG)
+        assert all(name.startswith("repro.") for name in METRIC_SERIES)
+        assert all(CATALOG[name] for name in CATALOG)
+        assert is_declared("repro.service.requests")
+        assert not is_declared("repro.sevice.requests")

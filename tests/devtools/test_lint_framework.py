@@ -1,0 +1,205 @@
+"""The lint framework itself: suppressions, reporters, CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.lint import (
+    REPORT_SCHEMA,
+    all_rule_ids,
+    build_report,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+
+def rules_hit(result):
+    return sorted({finding.rule for finding in result.findings})
+
+#: A minimal injectable-clock violation used as the framework's guinea pig.
+BAD_CLOCK = """\
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+
+class TestSuppressions:
+    def test_trailing_waiver_silences_its_line(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=injectable-clock -- test stamp
+        """})
+        assert result.ok
+        assert result.waived == 1
+
+    def test_standalone_waiver_covers_the_next_line(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import time
+
+            def stamp():
+                # repro-lint: disable=injectable-clock -- test stamp
+                return time.time()
+        """})
+        assert result.ok
+        assert result.waived == 1
+
+    def test_unjustified_waiver_does_not_suppress(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: disable=injectable-clock
+        """})
+        assert set(rules_hit(result)) == {"injectable-clock", "suppression"}
+
+    def test_unknown_rule_in_waiver_is_flagged(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            x = 1  # repro-lint: disable=not-a-rule -- because
+        """})
+        assert rules_hit(result) == ["suppression"]
+        assert "unknown rule" in result.findings[0].message
+
+    def test_scope_waiver_covers_the_whole_method(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import time
+
+            class Stamps:
+                def many(self):
+                    # repro-lint: disable-scope=injectable-clock -- all benign
+                    first = time.time()
+                    second = time.monotonic()
+                    return first, second
+        """})
+        assert result.ok
+        assert result.waived == 2
+
+    def test_scope_waiver_at_module_level_is_rejected(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            # repro-lint: disable-scope=injectable-clock -- too broad
+            x = 1
+        """})
+        assert rules_hit(result) == ["suppression"]
+        assert "module-wide" in result.findings[0].message
+
+    def test_directive_in_a_string_is_inert(self, lint_tree):
+        result = lint_tree({"mod.py": '''\
+            DOC = "# repro-lint: disable=injectable-clock -- not a comment"
+            """Docstring mentioning # repro-lint: disable=stuff."""
+        '''})
+        assert result.ok
+        assert result.waived == 0
+
+    def test_suppression_hygiene_problems_cannot_be_waived(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            x = 1  # repro-lint: disable=not-a-rule -- reason  # repro-lint: disable=suppression -- nice try
+        """})
+        assert "suppression" in rules_hit(result)
+
+
+class TestReporters:
+    def test_json_report_schema(self, lint_tree):
+        result = lint_tree({"mod.py": BAD_CLOCK})
+        report = json.loads(render_json(
+            result.findings, result.checked_files, result.waived
+        ))
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["tool"] == "repro-lint"
+        assert report["checked_files"] == 1
+        assert report["waived"] == 0
+        assert report["counts"] == {"injectable-clock": 1}
+        (finding,) = report["findings"]
+        assert set(finding) == {"rule", "path", "line", "message"}
+        assert finding["rule"] == "injectable-clock"
+        assert finding["line"] == 4
+
+    def test_findings_are_sorted_and_deterministic(self, lint_tree):
+        result = lint_tree({
+            "b.py": BAD_CLOCK,
+            "a.py": BAD_CLOCK,
+        })
+        paths = [finding.path for finding in result.findings]
+        assert paths == sorted(paths)
+        first = build_report(result.findings, 2, 0)
+        second = build_report(result.findings, 2, 0)
+        assert first == second
+
+    def test_text_report_carries_locations(self, lint_tree):
+        result = lint_tree({"mod.py": BAD_CLOCK})
+        text = render_text(
+            result.findings, result.checked_files, result.waived
+        )
+        assert "mod.py:4: [injectable-clock]" in text
+        assert "1 finding(s) in 1 file(s)" in text
+
+
+class TestRunner:
+    def test_parse_error_is_a_finding_not_a_crash(self, lint_tree):
+        result = lint_tree({"broken.py": "def oops(:\n"})
+        assert rules_hit(result) == ["parse-error"]
+
+    def test_rule_filter_runs_only_that_rule(self, lint_tree):
+        files = {
+            "repro/store/extra.py": """\
+                import sqlite3, time
+
+                def open_it(path):
+                    t = time.time()
+                    conn = sqlite3.connect(path)
+                    return conn, t
+            """,
+        }
+        everything = lint_tree(files)
+        assert set(rules_hit(everything)) == {
+            "injectable-clock", "resource-ownership",
+        }
+        only_clock = lint_tree(files, only=["injectable-clock"])
+        assert rules_hit(only_clock) == ["injectable-clock"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            run_lint(["definitely/not/here"])
+
+    def test_all_rule_ids_include_the_six_shipped_rules(self):
+        ids = all_rule_ids()
+        for expected in (
+            "lock-discipline", "event-loop-blocking", "injectable-clock",
+            "resource-ownership", "wire-contract", "metric-catalog",
+        ):
+            assert expected in ids
+
+
+class TestCli:
+    def test_exit_zero_and_report_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_with_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\nstamp = time.time()\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "[injectable-clock]" in capsys.readouterr().out
+
+    def test_json_flag_emits_the_schema_document(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\nstamp = time.time()\n"
+        )
+        assert main(["lint", "--json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["counts"] == {"injectable-clock": 1}
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["lint", "--rule", "nope", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 2
+        assert "does not exist" in capsys.readouterr().err

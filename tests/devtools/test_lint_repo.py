@@ -1,0 +1,96 @@
+"""The gate itself: the repo self-lints clean, and a seeded violation
+turns the static-analysis job red (tier-1)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.lint import run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+SERVICE = REPO / "src" / "repro" / "store" / "service.py"
+PROTOCOL = REPO / "docs" / "PROTOCOL.md"
+
+
+class TestSelfLint:
+    def test_repo_lints_clean(self):
+        """`repro lint src/ benchmarks/` exits 0 on the merged tree."""
+        assert main([
+            "lint", str(REPO / "src" / "repro"), str(REPO / "benchmarks"),
+        ]) == 0
+
+    def test_repo_waivers_are_active_and_justified(self):
+        # The clean run relies on justified suppressions, not on the
+        # rules being blind: some findings must actually be waived,
+        # and none of the `suppression` hygiene checks may fire.
+        result = run_lint(
+            [str(REPO / "src" / "repro"), str(REPO / "benchmarks")],
+            root=REPO,
+        )
+        assert result.ok
+        assert result.waived > 0
+
+
+@pytest.fixture
+def doctored_tree(tmp_path):
+    """A hermetic src/repro/store/service.py + docs/PROTOCOL.md copy of
+    the real pair, ready to be doctored."""
+    service_copy = tmp_path / "src" / "repro" / "store" / "service.py"
+    service_copy.parent.mkdir(parents=True)
+    service_copy.write_text(SERVICE.read_text(encoding="utf-8"),
+                            encoding="utf-8")
+    doc_copy = tmp_path / "docs" / "PROTOCOL.md"
+    doc_copy.parent.mkdir()
+    doc_copy.write_text(PROTOCOL.read_text(encoding="utf-8"),
+                        encoding="utf-8")
+    return tmp_path
+
+
+class TestSeededViolations:
+    """What CI's static-analysis job would do with a bad push."""
+
+    def test_pristine_copy_lints_clean(self, doctored_tree):
+        assert main(["lint", str(doctored_tree / "src")]) == 0
+
+    def test_seeded_sleep_in_the_loop_goes_red(self, doctored_tree):
+        service = doctored_tree / "src" / "repro" / "store" / "service.py"
+        text = service.read_text(encoding="utf-8")
+        assert "def _serve_loop(self) -> None:" in text
+        service.write_text(text.replace(
+            "def _serve_loop(self) -> None:",
+            "def _serve_loop(self) -> None:\n        time.sleep(0.5)",
+            1,
+        ), encoding="utf-8")
+        result = run_lint([str(doctored_tree / "src")], root=doctored_tree)
+        assert any(
+            f.rule == "event-loop-blocking" and "time.sleep" in f.message
+            for f in result.findings
+        )
+        assert main(["lint", str(doctored_tree / "src")]) == 1
+
+    def test_seeded_doc_drift_goes_red(self, doctored_tree):
+        doc = doctored_tree / "docs" / "PROTOCOL.md"
+        lines = doc.read_text(encoding="utf-8").splitlines(keepends=True)
+        pruned = [line for line in lines if not line.startswith("| `compact`")]
+        assert len(pruned) == len(lines) - 1
+        doc.write_text("".join(pruned), encoding="utf-8")
+        result = run_lint([str(doctored_tree / "src")], root=doctored_tree)
+        assert any(
+            f.rule == "wire-contract" and "compact" in f.message
+            for f in result.findings
+        )
+
+    def test_seeded_unexplained_waiver_goes_red(self, doctored_tree):
+        service = doctored_tree / "src" / "repro" / "store" / "service.py"
+        text = service.read_text(encoding="utf-8")
+        service.write_text(text.replace(
+            "# repro-lint: disable=lock-discipline -- racy read is tolerated",
+            "# repro-lint: disable=lock-discipline",
+            1,
+        ), encoding="utf-8")
+        result = run_lint([str(doctored_tree / "src")], root=doctored_tree)
+        assert any(
+            f.rule == "suppression" and "justification" in f.message
+            for f in result.findings
+        )

@@ -1,0 +1,362 @@
+"""One flagged-bad and one passing-good fixture per shipped rule."""
+
+
+class TestLockDiscipline:
+    BAD = {"box.py": """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self):
+                with self._lock:
+                    self._count = self._count + 1
+
+            def peek(self):
+                return self._count
+    """}
+
+    GOOD = {"box.py": """\
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def add(self):
+                with self._lock:
+                    self._count = self._count + 1
+
+            def peek(self):
+                with self._lock:
+                    return self._count
+    """}
+
+    def test_flags_unlocked_read_of_guarded_attribute(self, lint_tree):
+        result = lint_tree(self.BAD, only=["lock-discipline"])
+        (finding,) = result.findings
+        assert finding.rule == "lock-discipline"
+        assert "Box._count" in finding.message
+        assert "peek" in finding.message
+
+    def test_passes_when_every_access_is_locked(self, lint_tree):
+        assert lint_tree(self.GOOD, only=["lock-discipline"]).ok
+
+    def test_init_writes_are_exempt(self, lint_tree):
+        # The __init__ assignments in both fixtures are unlocked and
+        # must not be findings: the object is not yet shared.
+        result = lint_tree(self.GOOD, only=["lock-discipline"])
+        assert result.ok
+
+    def test_closure_under_lock_does_not_count_as_locked(self, lint_tree):
+        result = lint_tree({"box.py": """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def register(self, registry):
+                    with self._lock:
+                        self._count = 1
+                        registry.append(lambda: self._count)
+        """}, only=["lock-discipline"])
+        (finding,) = result.findings
+        assert "read" in finding.message
+
+
+class TestEventLoopBlocking:
+    BAD = {"svc.py": """\
+        import time
+
+        class Loop:
+            def _serve_loop(self):
+                while True:
+                    self._tick()
+
+            def _tick(self):
+                time.sleep(0.1)
+    """}
+
+    GOOD = {"svc.py": """\
+        import time
+
+        class Loop:
+            def _serve_loop(self):
+                while True:
+                    self._tick()
+
+            def _tick(self):
+                pass
+
+            def wait_outside_loop(self):
+                time.sleep(0.1)
+    """}
+
+    def test_flags_sleep_reachable_from_the_loop(self, lint_tree):
+        result = lint_tree(self.BAD, only=["event-loop-blocking"])
+        (finding,) = result.findings
+        assert "time.sleep" in finding.message
+        assert "Loop._tick" in finding.message
+
+    def test_unreachable_sleep_is_fine(self, lint_tree):
+        assert lint_tree(self.GOOD, only=["event-loop-blocking"]).ok
+
+    def test_flags_blocking_socket_without_setblocking(self, lint_tree):
+        result = lint_tree({"svc.py": """\
+            class Loop:
+                def _serve_loop(self):
+                    data = self._sock.recv(4096)
+        """}, only=["event-loop-blocking"])
+        (finding,) = result.findings
+        assert "setblocking" in finding.message
+
+    def test_nonblocking_socket_ops_are_fine(self, lint_tree):
+        result = lint_tree({"svc.py": """\
+            import socket
+
+            class Loop:
+                def start(self):
+                    sock = socket.socket()
+                    sock.setblocking(False)
+                    self._sock = sock
+
+                def _serve_loop(self):
+                    data = self._sock.recv(4096)
+        """}, only=["event-loop-blocking"])
+        assert result.ok
+
+    def test_flags_subprocess_in_dispatch_path(self, lint_tree):
+        result = lint_tree({"svc.py": """\
+            import subprocess
+
+            class Loop:
+                def _serve_loop(self):
+                    self._handle()
+
+                def _handle(self):
+                    subprocess.run(["true"])
+        """}, only=["event-loop-blocking"])
+        (finding,) = result.findings
+        assert "subprocess" in finding.message
+
+
+class TestInjectableClock:
+    def test_flags_naked_wall_clock_calls(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import time
+
+            def stamp():
+                return time.time(), time.monotonic()
+        """}, only=["injectable-clock"])
+        assert len(result.findings) == 2
+
+    def test_flags_unseeded_random(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import random
+
+            def jitter():
+                return random.Random().random()
+        """}, only=["injectable-clock"])
+        (finding,) = result.findings
+        assert "seed" in finding.message
+
+    def test_injectable_default_reference_is_fine(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            import random
+            import time
+
+            class Timer:
+                def __init__(self, clock=None, seed=0):
+                    self.clock = clock if clock is not None else time.monotonic
+                    self.rng = random.Random(seed)
+        """}, only=["injectable-clock"])
+        assert result.ok
+
+    def test_allowlisted_files_may_use_their_declared_clock(self, lint_tree):
+        result = lint_tree({"src/repro/store/store.py": """\
+            import time
+
+            def row_stamp():
+                return int(time.time())
+        """}, only=["injectable-clock"])
+        assert result.ok
+
+    def test_allowlist_is_per_call_not_per_file(self, lint_tree):
+        # store.py may call time.time() but not time.monotonic().
+        result = lint_tree({"src/repro/store/store.py": """\
+            import time
+
+            def uptime():
+                return time.monotonic()
+        """}, only=["injectable-clock"])
+        (finding,) = result.findings
+        assert "time.monotonic" in finding.message
+
+
+class TestResourceOwnership:
+    def test_flags_connect_outside_the_store_module(self, lint_tree):
+        result = lint_tree({"src/repro/kernel/rogue.py": """\
+            import sqlite3
+
+            def side_channel(path):
+                conn = sqlite3.connect(path)
+                try:
+                    return conn.execute("select 1").fetchone()
+                finally:
+                    conn.close()
+        """}, only=["resource-ownership"])
+        (finding,) = result.findings
+        assert "store/store.py" in finding.message
+
+    def test_flags_unclosed_acquisition_in_store_stack(self, lint_tree):
+        result = lint_tree({"src/repro/store/leaky.py": """\
+            import socket
+
+            def probe(path):
+                sock = socket.socket()
+                sock.connect(path)
+                return sock.recv(1)
+        """}, only=["resource-ownership"])
+        (finding,) = result.findings
+        assert "sock.close()" in finding.message
+
+    def test_closed_and_owned_acquisitions_pass(self, lint_tree):
+        result = lint_tree({"src/repro/store/store.py": """\
+            import sqlite3
+
+            class Store:
+                def __init__(self, path):
+                    self._conn = sqlite3.connect(path)
+
+                def reopen(self, path):
+                    conn = sqlite3.connect(path)
+                    try:
+                        conn.execute("PRAGMA quick_check")
+                    except BaseException:
+                        conn.close()
+                        raise
+                    return conn
+        """}, only=["resource-ownership"])
+        assert result.ok
+
+
+class TestWireContract:
+    SERVICE = """\
+        SERVICE_OPS = ("ping", "stats")
+
+        class VerdictService:
+            def _dispatch(self, request):
+                op = request["op"]
+                if op == "ping":
+                    return {"ok": True}
+                if op == "stats":
+                    return {"ok": True}
+                return {"ok": False}
+
+            def _other(self):
+                pass
+    """
+
+    DOC_OK = """\
+        ## 4. Op reference
+
+        | op | writes | request | response |
+        |---|---|---|---|
+        | `ping` | no | - | `service` |
+        | `stats` | no | - | `stats` |
+    """
+
+    def tree(self, service, doc):
+        return {
+            "src/repro/store/service.py": service,
+            "docs/PROTOCOL.md": doc,
+        }
+
+    def test_agreement_passes(self, lint_tree):
+        result = lint_tree(
+            self.tree(self.SERVICE, self.DOC_OK), only=["wire-contract"],
+            paths=None,
+        )
+        assert result.ok
+
+    def test_undocumented_op_is_flagged_both_ways(self, lint_tree):
+        doc_missing_stats = self.DOC_OK.replace(
+            "| `stats` | no | - | `stats` |\n", ""
+        )
+        result = lint_tree(
+            self.tree(self.SERVICE, doc_missing_stats),
+            only=["wire-contract"],
+        )
+        assert not result.ok
+        assert any("stats" in f.message and "documented" in f.message
+                   for f in result.findings)
+
+    def test_documented_ghost_op_is_flagged(self, lint_tree):
+        doc_extra = self.DOC_OK + "| `vanish` | no | - | - |\n"
+        result = lint_tree(
+            self.tree(self.SERVICE, doc_extra), only=["wire-contract"],
+        )
+        assert not result.ok
+        assert any("vanish" in f.message for f in result.findings)
+
+    def test_dispatch_handler_missing_from_registry_is_flagged(
+        self, lint_tree
+    ):
+        service = self.SERVICE.replace(
+            'SERVICE_OPS = ("ping", "stats")',
+            'SERVICE_OPS = ("ping",)',
+        )
+        doc = self.DOC_OK.replace("| `stats` | no | - | `stats` |\n", "")
+        result = lint_tree(
+            self.tree(service, doc), only=["wire-contract"],
+        )
+        assert any(
+            "dispatched by _dispatch but not registered" in f.message
+            for f in result.findings
+        )
+
+
+class TestMetricCatalog:
+    def test_undeclared_series_is_flagged(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            def record(telemetry):
+                telemetry.counter("repro.sevice.requests").inc()
+        """}, only=["metric-catalog"])
+        (finding,) = result.findings
+        assert "repro.sevice.requests" in finding.message
+
+    def test_declared_series_passes(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            def record(telemetry):
+                telemetry.counter("repro.service.requests", op="ping").inc()
+        """}, only=["metric-catalog"])
+        assert result.ok
+
+    def test_fstring_prefix_must_match_a_declared_series(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            def adopt(registry, field, counter):
+                registry.adopt(f"repro.nothing.{field}", counter)
+        """}, only=["metric-catalog"])
+        (finding,) = result.findings
+        assert "repro.nothing." in finding.message
+
+    def test_fstring_with_declared_prefix_passes(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            def adopt(registry, field, counter):
+                registry.adopt(f"repro.kernel.cache.{field}", counter)
+        """}, only=["metric-catalog"])
+        assert result.ok
+
+    def test_non_metric_strings_are_ignored(self, lint_tree):
+        result = lint_tree({"mod.py": """\
+            NAME = "repro.not.a.metric"
+
+            def log(logger):
+                logger.info("repro.also.not.a.metric")
+        """}, only=["metric-catalog"])
+        assert result.ok
